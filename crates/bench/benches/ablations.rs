@@ -1,0 +1,132 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs one complete C-event at n = 400 under a modified
+//! configuration. Criterion measures the wall cost; the first iteration
+//! of each variant also prints the resulting churn to stderr so the
+//! *behavioral* effect of the knob is visible in the bench log (e.g. how
+//! much churn sender-side loop detection suppresses).
+
+use std::sync::Once;
+use std::time::Duration;
+
+use bgpscale_bench::{fixture, one_c_event, Fixture};
+use bgpscale_bgp::config::ServiceTimeModel;
+use bgpscale_bgp::{BgpConfig, MraiMode, MraiScope};
+use bgpscale_simkernel::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn report_once(label: &str, fix: &Fixture, cfg: &BgpConfig, once: &Once) {
+    once.call_once(|| {
+        let updates = one_c_event(fix, cfg.clone(), 77);
+        eprintln!("[ablation] {label}: {updates} updates per C-event");
+    });
+}
+
+fn bench_mrai_value(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mrai_value");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let fix = fixture(400, 5);
+    for secs in [1u64, 5, 15, 30, 60] {
+        let cfg = BgpConfig {
+            mrai: SimDuration::from_secs(secs),
+            ..BgpConfig::default()
+        };
+        let once = Once::new();
+        report_once(&format!("MRAI={secs}s NO-WRATE"), &fix, &cfg, &once);
+        g.bench_function(format!("mrai_{secs}s"), |b| {
+            b.iter(|| black_box(one_c_event(&fix, cfg.clone(), 77)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_loop_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_sender_side_loop");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let fix = fixture(400, 5);
+    for (label, enabled) in [("sender_side", true), ("receiver_side_only", false)] {
+        let cfg = BgpConfig {
+            sender_side_loop_detection: enabled,
+            ..BgpConfig::default()
+        };
+        let once = Once::new();
+        report_once(label, &fix, &cfg, &once);
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(one_c_event(&fix, cfg.clone(), 77)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_service_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_processing_delay");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let fix = fixture(400, 5);
+    for (label, model) in [
+        ("uniform_0_100ms", ServiceTimeModel::Uniform),
+        ("constant_50ms", ServiceTimeModel::Constant),
+    ] {
+        let cfg = BgpConfig {
+            service_model: model,
+            ..BgpConfig::default()
+        };
+        let once = Once::new();
+        report_once(label, &fix, &cfg, &once);
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(one_c_event(&fix, cfg.clone(), 77)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_wrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_wrate");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let fix = fixture(400, 5);
+    for (label, mode) in [("no_wrate", MraiMode::NoWrate), ("wrate", MraiMode::Wrate)] {
+        let cfg = BgpConfig {
+            mrai_mode: mode,
+            ..BgpConfig::default()
+        };
+        let once = Once::new();
+        report_once(label, &fix, &cfg, &once);
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(one_c_event(&fix, cfg.clone(), 77)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mrai_scope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mrai_scope");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let fix = fixture(400, 5);
+    for (label, scope) in [
+        ("per_interface", MraiScope::PerInterface),
+        ("per_prefix", MraiScope::PerPrefix),
+    ] {
+        let cfg = BgpConfig {
+            mrai_scope: scope,
+            ..BgpConfig::default()
+        };
+        let once = Once::new();
+        report_once(label, &fix, &cfg, &once);
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(one_c_event(&fix, cfg.clone(), 77)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500));
+    targets = bench_mrai_value, bench_loop_detection, bench_service_model, bench_wrate, bench_mrai_scope
+}
+criterion_main!(benches);

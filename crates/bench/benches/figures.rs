@@ -1,0 +1,65 @@
+//! One benchmark per reproduced table/figure.
+//!
+//! Each bench runs the *same driver code* as the `repro` binary, at micro
+//! scale (n ≤ 300, 2 events per cell), so `cargo bench` finishes quickly
+//! while still exercising every figure's full code path — topology
+//! generation, simulation, factor extraction, claim evaluation,
+//! rendering. A fresh [`Sweeper`] is built per iteration so the memoizing
+//! cache cannot hide regressions.
+
+use std::time::Duration;
+
+use bgpscale_bench::micro_config;
+use bgpscale_experiments::{figures, Sweeper};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("table1", |b| {
+        b.iter(|| black_box(figures::table1::run(&micro_config())));
+    });
+    g.bench_function("fig01_churn_trend", |b| {
+        b.iter(|| black_box(figures::fig1::run(1)));
+    });
+    g.bench_function("fig03_topology_sketch", |b| {
+        b.iter(|| black_box(figures::fig3::run(1)));
+    });
+
+    macro_rules! sweep_fig {
+        ($name:literal, $module:ident) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut sw = Sweeper::new(micro_config());
+                    black_box(figures::$module::run(&mut sw))
+                });
+            });
+        };
+    }
+    sweep_fig!("fig04_baseline_churn", fig4);
+    sweep_fig!("fig05_churn_components", fig5);
+    sweep_fig!("fig06_relative_increase", fig6);
+    sweep_fig!("fig07_factors", fig7);
+    sweep_fig!("fig08_population_mix", fig8);
+    sweep_fig!("fig09_multihoming", fig9);
+    sweep_fig!("fig10_peering", fig10);
+    sweep_fig!("fig11_provider_pref", fig11);
+    sweep_fig!("fig12_wrate", fig12);
+    sweep_fig!("ext_levent", ext_levent);
+    sweep_fig!("ext_burstiness", ext_burstiness);
+    sweep_fig!("ext_rfd", ext_rfd);
+    sweep_fig!("ext_convergence", ext_convergence);
+    sweep_fig!("ext_concurrency", ext_concurrency);
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().warm_up_time(Duration::from_millis(500));
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! # bgpscale-bench
+//!
+//! Criterion benchmarks for the `bgpscale` workspace. The library part is
+//! a small toolbox shared by the bench targets; the measurements live in
+//! `benches/`:
+//!
+//! * `substrates` — microbenches of the building blocks: event queue,
+//!   PRNG, decision process, topology generation, graph metrics.
+//! * `figures` — one benchmark per reproduced table/figure, running the
+//!   same driver code as the `repro` binary at micro scale. These exist
+//!   so that a performance regression in any part of the pipeline is
+//!   visible per experiment.
+//! * `ablations` — the design-choice ablations called out in DESIGN.md:
+//!   MRAI value sweep, sender-side vs receiver-side loop detection,
+//!   uniform vs constant service times, WRATE vs NO-WRATE.
+
+use bgpscale_bgp::{BgpConfig, Prefix};
+use bgpscale_core::cevent::run_c_event;
+use bgpscale_core::Simulator;
+use bgpscale_experiments::RunConfig;
+use bgpscale_topology::{generate, AsGraph, AsId, GrowthScenario, NodeType};
+
+/// The micro sweep used by the per-figure benches: small enough that a
+/// full figure regenerates in well under a second.
+pub fn micro_config() -> RunConfig {
+    RunConfig {
+        // Three sizes: the regression figures need ≥3 points for the
+        // quadratic fits.
+        sizes: vec![200, 250, 300],
+        events: 2,
+        seed: 0x2008_0612,
+    }
+}
+
+/// A reusable benchmark fixture: topology plus a C-type originator.
+pub struct Fixture {
+    /// The generated topology.
+    pub graph: AsGraph,
+    /// A customer-stub event originator.
+    pub origin: AsId,
+}
+
+/// Builds a Baseline fixture of size `n`.
+pub fn fixture(n: usize, seed: u64) -> Fixture {
+    let graph = generate(GrowthScenario::Baseline, n, seed);
+    let origin = graph
+        .node_ids()
+        .find(|&id| graph.node_type(id) == NodeType::C)
+        .expect("baseline topologies contain C nodes");
+    Fixture { graph, origin }
+}
+
+/// Runs one complete C-event on a fresh simulator and returns the total
+/// churn (the value ablation benches care about).
+pub fn one_c_event(fix: &Fixture, cfg: BgpConfig, seed: u64) -> u64 {
+    let mut sim = Simulator::new(fix.graph.clone(), cfg, seed);
+    run_c_event(&mut sim, fix.origin, Prefix(0))
+        .expect("C-event converges")
+        .total_updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_and_event_helper_work() {
+        let fix = fixture(150, 1);
+        assert_eq!(fix.graph.len(), 150);
+        let updates = one_c_event(&fix, BgpConfig::default(), 2);
+        assert!(updates > 0);
+    }
+
+    #[test]
+    fn micro_config_is_small() {
+        let cfg = micro_config();
+        assert!(cfg.sizes.iter().all(|&n| n <= 300));
+        assert!(cfg.events <= 2);
+    }
+}

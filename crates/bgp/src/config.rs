@@ -1,0 +1,212 @@
+//! Protocol and timing configuration.
+
+use bgpscale_simkernel::SimDuration;
+
+use crate::rfd::RfdConfig;
+
+/// How the MRAI timer treats explicit withdrawals (§2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MraiMode {
+    /// RFC 1771 behavior (and Quagga's): explicit withdrawals are **not**
+    /// rate-limited — they are sent the moment they are generated, and do
+    /// not start the MRAI timer. This largely suppresses path exploration.
+    NoWrate,
+    /// RFC 4271 behavior: explicit withdrawals are rate-limited just like
+    /// announcements. The paper shows this roughly doubles churn at tier-1
+    /// nodes at n = 10000 and worse in dense cores.
+    Wrate,
+}
+
+impl MraiMode {
+    /// True when withdrawals are subject to the MRAI timer.
+    pub fn rate_limits_withdrawals(self) -> bool {
+        matches!(self, MraiMode::Wrate)
+    }
+
+    /// The paper's label for this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            MraiMode::NoWrate => "NO-WRATE",
+            MraiMode::Wrate => "WRATE",
+        }
+    }
+}
+
+/// The granularity at which the MRAI timer is applied (§2 of the paper:
+/// *"According to the BGP-4 standard, the MRAI timer should be
+/// implemented on a per-prefix basis. However, for efficiency reasons,
+/// router vendors typically implement it on a per-interface basis. We
+/// adopt this approach in our model."* — both are available here; the
+/// paper's configuration is the default).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MraiScope {
+    /// One timer per neighbor session, governing all prefixes (vendor
+    /// practice; the paper's model).
+    PerInterface,
+    /// One timer per (neighbor session, prefix) — the RFC's intent.
+    /// Updates for different prefixes never rate-limit each other.
+    PerPrefix,
+}
+
+impl MraiScope {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MraiScope::PerInterface => "per-interface",
+            MraiScope::PerPrefix => "per-prefix",
+        }
+    }
+}
+
+/// How per-message processing (service) times are drawn.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ServiceTimeModel {
+    /// Uniform over `(0, proc_delay_max]` — the paper's model.
+    Uniform,
+    /// Constant at `proc_delay_max / 2` (same mean as `Uniform`); an
+    /// ablation knob for studying the role of service-time randomness.
+    Constant,
+}
+
+/// All protocol timing knobs, with defaults matching §2 of the paper.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BgpConfig {
+    /// The Minimum Route Advertisement Interval, applied per neighbor
+    /// interface (as vendors implement it, not per prefix). Default 30 s.
+    pub mrai: SimDuration,
+    /// Jitter range applied to each timer arming, as fractions of `mrai`;
+    /// the BGP-4 standard specifies `[0.75, 1.0]`.
+    pub mrai_jitter: (f64, f64),
+    /// Withdrawal treatment; default [`MraiMode::NoWrate`] (the paper's
+    /// configuration for everything except §6).
+    pub mrai_mode: MraiMode,
+    /// Timer granularity; default [`MraiScope::PerInterface`] (the
+    /// paper's model, matching vendor practice).
+    pub mrai_scope: MraiScope,
+    /// Upper bound of the per-message processing time. The paper uses
+    /// 100 ms.
+    pub proc_delay_max: SimDuration,
+    /// How service times are drawn from `proc_delay_max` (ablation knob;
+    /// the paper uses [`ServiceTimeModel::Uniform`]).
+    pub service_model: ServiceTimeModel,
+    /// Constant link propagation delay. The paper models only queueing and
+    /// processing delay; 2 ms is negligible against both the 100 ms
+    /// processing bound and the 30 s MRAI, and merely breaks simultaneity.
+    pub link_delay: SimDuration,
+    /// Sender-side loop detection (§4.1): suppress exporting a route to a
+    /// neighbor already on its AS path. Disabling it (ablation) makes the
+    /// sender transmit and the receiver discard, inflating churn without
+    /// changing routing outcomes.
+    pub sender_side_loop_detection: bool,
+    /// Route Flap Damping (RFC 2439); `None` (the default and the paper's
+    /// configuration) disables it. See [`crate::rfd`].
+    pub rfd: Option<RfdConfig>,
+}
+
+impl Default for BgpConfig {
+    fn default() -> Self {
+        BgpConfig {
+            mrai: SimDuration::from_secs(30),
+            mrai_jitter: (0.75, 1.0),
+            mrai_mode: MraiMode::NoWrate,
+            mrai_scope: MraiScope::PerInterface,
+            proc_delay_max: SimDuration::from_millis(100),
+            service_model: ServiceTimeModel::Uniform,
+            link_delay: SimDuration::from_millis(2),
+            sender_side_loop_detection: true,
+            rfd: None,
+        }
+    }
+}
+
+impl BgpConfig {
+    /// The paper's NO-WRATE configuration (also [`Default`]).
+    pub fn no_wrate() -> Self {
+        BgpConfig::default()
+    }
+
+    /// The paper's WRATE configuration (§6).
+    pub fn wrate() -> Self {
+        BgpConfig {
+            mrai_mode: MraiMode::Wrate,
+            ..BgpConfig::default()
+        }
+    }
+
+    /// Validates ranges; the simulator calls this once at startup.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid field.
+    pub fn check(&self) -> Result<(), String> {
+        let (lo, hi) = self.mrai_jitter;
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi && hi <= 1.0) {
+            return Err(format!("mrai_jitter ({lo}, {hi}) must satisfy 0 < lo <= hi <= 1"));
+        }
+        if self.proc_delay_max.is_zero() {
+            return Err("proc_delay_max must be positive (FIFO service time)".into());
+        }
+        if let Some(rfd) = &self.rfd {
+            rfd.check().map_err(|e| format!("rfd: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = BgpConfig::default();
+        assert_eq!(c.mrai, SimDuration::from_secs(30));
+        assert_eq!(c.mrai_mode, MraiMode::NoWrate);
+        assert_eq!(c.proc_delay_max, SimDuration::from_millis(100));
+        assert_eq!(c.mrai_jitter, (0.75, 1.0));
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn wrate_constructor_flips_only_the_mode() {
+        let c = BgpConfig::wrate();
+        assert_eq!(c.mrai_mode, MraiMode::Wrate);
+        assert_eq!(c.mrai, BgpConfig::default().mrai);
+        assert!(c.mrai_mode.rate_limits_withdrawals());
+        assert!(!MraiMode::NoWrate.rate_limits_withdrawals());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MraiMode::Wrate.label(), "WRATE");
+        assert_eq!(MraiMode::NoWrate.label(), "NO-WRATE");
+        assert_eq!(MraiScope::PerInterface.label(), "per-interface");
+        assert_eq!(MraiScope::PerPrefix.label(), "per-prefix");
+    }
+
+    #[test]
+    fn default_scope_is_the_papers() {
+        assert_eq!(BgpConfig::default().mrai_scope, MraiScope::PerInterface);
+    }
+
+    #[test]
+    fn check_rejects_bad_jitter() {
+        let mut c = BgpConfig::default();
+        c.mrai_jitter = (0.0, 1.0);
+        assert!(c.check().is_err());
+        c.mrai_jitter = (0.9, 0.5);
+        assert!(c.check().is_err());
+        c.mrai_jitter = (0.5, 1.5);
+        assert!(c.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_zero_processing_time() {
+        let mut c = BgpConfig::default();
+        c.proc_delay_max = SimDuration::ZERO;
+        assert!(c.check().is_err());
+    }
+}

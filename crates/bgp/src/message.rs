@@ -1,0 +1,149 @@
+//! BGP UPDATE messages.
+//!
+//! The simulator models the two UPDATE flavors that matter for churn
+//! accounting: **announcements** (a reachable route with its AS path) and
+//! **explicit withdrawals**. Every [`Update`] received by a node counts as
+//! one unit of churn, exactly as in the paper's measurements.
+
+use std::fmt;
+
+use bgpscale_topology::AsId;
+
+/// A routable destination. The paper studies single-prefix events, so a
+/// prefix is an opaque identifier; library users announcing real address
+/// blocks can maintain their own mapping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Prefix(pub u32);
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// An AS path: the sequence of ASes a route has traversed, **nearest AS
+/// first, origin last**. A node prepends its own id when exporting.
+pub type AsPath = Vec<AsId>;
+
+/// The payload of an UPDATE message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum UpdateKind {
+    /// The sender announces reachability with the given AS path (the
+    /// sender itself is the first path element).
+    Announce(AsPath),
+    /// The sender explicitly withdraws its previously announced route.
+    Withdraw,
+}
+
+impl UpdateKind {
+    /// True for announcements.
+    pub fn is_announce(&self) -> bool {
+        matches!(self, UpdateKind::Announce(_))
+    }
+
+    /// True for withdrawals.
+    pub fn is_withdraw(&self) -> bool {
+        matches!(self, UpdateKind::Withdraw)
+    }
+
+    /// The announced path, if any.
+    pub fn path(&self) -> Option<&AsPath> {
+        match self {
+            UpdateKind::Announce(p) => Some(p),
+            UpdateKind::Withdraw => None,
+        }
+    }
+}
+
+/// One UPDATE message concerning one prefix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Update {
+    /// The prefix the message is about.
+    pub prefix: Prefix,
+    /// Announcement or withdrawal.
+    pub kind: UpdateKind,
+}
+
+impl Update {
+    /// Convenience constructor for an announcement.
+    pub fn announce(prefix: Prefix, path: AsPath) -> Update {
+        Update {
+            prefix,
+            kind: UpdateKind::Announce(path),
+        }
+    }
+
+    /// Convenience constructor for a withdrawal.
+    pub fn withdraw(prefix: Prefix) -> Update {
+        Update {
+            prefix,
+            kind: UpdateKind::Withdraw,
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            UpdateKind::Announce(path) => {
+                write!(f, "ANNOUNCE {} via ", self.prefix)?;
+                let mut first = true;
+                for hop in path {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{hop}")?;
+                    first = false;
+                }
+                Ok(())
+            }
+            UpdateKind::Withdraw => write!(f, "WITHDRAW {}", self.prefix),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = Update::announce(Prefix(1), vec![AsId(2), AsId(3)]);
+        assert!(a.kind.is_announce());
+        assert!(!a.kind.is_withdraw());
+        assert_eq!(a.kind.path(), Some(&vec![AsId(2), AsId(3)]));
+        let w = Update::withdraw(Prefix(1));
+        assert!(w.kind.is_withdraw());
+        assert_eq!(w.kind.path(), None);
+    }
+
+    #[test]
+    fn display_formats_both_kinds() {
+        let a = Update::announce(Prefix(7), vec![AsId(1), AsId(9)]);
+        assert_eq!(a.to_string(), "ANNOUNCE P7 via AS1 AS9");
+        let w = Update::withdraw(Prefix(7));
+        assert_eq!(w.to_string(), "WITHDRAW P7");
+    }
+
+    #[test]
+    fn updates_compare_structurally() {
+        assert_eq!(
+            Update::announce(Prefix(1), vec![AsId(2)]),
+            Update::announce(Prefix(1), vec![AsId(2)])
+        );
+        assert_ne!(
+            Update::announce(Prefix(1), vec![AsId(2)]),
+            Update::announce(Prefix(1), vec![AsId(3)])
+        );
+        assert_ne!(Update::withdraw(Prefix(1)), Update::withdraw(Prefix(2)));
+    }
+}

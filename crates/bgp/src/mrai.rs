@@ -1,0 +1,604 @@
+//! The per-interface MRAI output queue.
+//!
+//! Each neighbor session has one [`OutQueue`] implementing the rate
+//! limiting of §2: *"two route announcements from an AS to the same
+//! neighbor must be separated in time by at least one MRAI timer
+//! interval"*, implemented per interface as router vendors do (not per
+//! prefix as RFC 4271 suggests).
+//!
+//! State machine per queue:
+//!
+//! * **Timer idle** → an announcement is sent immediately and arms the
+//!   timer. (Invariant: the pending map is empty whenever the timer is
+//!   idle.)
+//! * **Timer armed** → updates are *queued*; a newer update for the same
+//!   prefix replaces the queued one ("if a queued update becomes invalid
+//!   by a new update, the former is removed from the output queue").
+//! * **Timer expiry** → all still-valid pending updates are flushed; the
+//!   timer re-arms iff something was sent.
+//!
+//! Withdrawals depend on the [`MraiMode`]:
+//!
+//! * **NO-WRATE** (RFC 1771): withdrawals bypass the queue entirely — sent
+//!   at once, never arming the timer — and invalidate any queued
+//!   announcement for the prefix.
+//! * **WRATE** (RFC 4271): withdrawals queue exactly like announcements.
+//!
+//! The queue also maintains the **Adj-RIB-out** (`sent`): the last update
+//! actually transmitted per prefix. Flushes and submissions are suppressed
+//! when they would repeat what the neighbor already knows, which both
+//! matches real BGP implementations and keeps the paper's update counts
+//! honest.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::{MraiMode, MraiScope};
+use crate::message::{AsPath, Prefix, Update, UpdateKind};
+
+/// Result of submitting an update to an [`OutQueue`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Submit {
+    /// Send the update on the wire now. If `arm_timer` is true the caller
+    /// must schedule a (jittered) MRAI expiry for this queue.
+    SendNow {
+        /// The message to transmit.
+        update: Update,
+        /// Whether this transmission arms the MRAI timer.
+        arm_timer: bool,
+    },
+    /// The update was queued behind the running MRAI timer.
+    Queued,
+    /// The update was redundant (the neighbor already has, or will get,
+    /// equivalent state) and was dropped.
+    Suppressed,
+}
+
+/// One neighbor session's rate-limited output queue plus Adj-RIB-out.
+#[derive(Clone, Debug)]
+pub struct OutQueue {
+    scope: MraiScope,
+    /// Per-interface scope: the single session timer.
+    timer_armed: bool,
+    /// Per-prefix scope: the prefixes whose timers are armed.
+    armed_prefixes: BTreeSet<Prefix>,
+    /// Updates waiting for a timer; at most one per prefix.
+    pending: BTreeMap<Prefix, UpdateKind>,
+    /// Adj-RIB-out: the path last actually sent, per prefix. Absent means
+    /// the neighbor holds no route from us (withdrawn or never announced).
+    sent: BTreeMap<Prefix, AsPath>,
+}
+
+impl Default for OutQueue {
+    fn default() -> Self {
+        OutQueue::new()
+    }
+}
+
+impl OutQueue {
+    /// Creates an idle queue with the paper's per-interface timer scope.
+    pub fn new() -> Self {
+        OutQueue::with_scope(MraiScope::PerInterface)
+    }
+
+    /// Creates an idle queue with an explicit timer scope.
+    pub fn with_scope(scope: MraiScope) -> Self {
+        OutQueue {
+            scope,
+            timer_armed: false,
+            armed_prefixes: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            sent: BTreeMap::new(),
+        }
+    }
+
+    /// The timer granularity of this queue.
+    pub fn scope(&self) -> MraiScope {
+        self.scope
+    }
+
+    /// True while an MRAI expiry is outstanding that governs `prefix`.
+    pub fn is_armed(&self, prefix: Prefix) -> bool {
+        match self.scope {
+            MraiScope::PerInterface => self.timer_armed,
+            MraiScope::PerPrefix => self.armed_prefixes.contains(&prefix),
+        }
+    }
+
+    fn set_armed(&mut self, prefix: Prefix) {
+        match self.scope {
+            MraiScope::PerInterface => self.timer_armed = true,
+            MraiScope::PerPrefix => {
+                self.armed_prefixes.insert(prefix);
+            }
+        }
+    }
+
+    /// True while any MRAI expiry for this queue is outstanding.
+    pub fn timer_armed(&self) -> bool {
+        match self.scope {
+            MraiScope::PerInterface => self.timer_armed,
+            MraiScope::PerPrefix => !self.armed_prefixes.is_empty(),
+        }
+    }
+
+    /// Number of queued (pending) updates.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The path the neighbor currently holds from us for `prefix`
+    /// (Adj-RIB-out), ignoring anything still queued.
+    pub fn advertised(&self, prefix: Prefix) -> Option<&AsPath> {
+        self.sent.get(&prefix)
+    }
+
+    /// What the neighbor will believe once the queue drains: the queued
+    /// intent if any, else the Adj-RIB-out.
+    pub fn intent(&self, prefix: Prefix) -> Option<&AsPath> {
+        match self.pending.get(&prefix) {
+            Some(UpdateKind::Announce(p)) => Some(p),
+            Some(UpdateKind::Withdraw) => None,
+            None => self.sent.get(&prefix),
+        }
+    }
+
+    /// Submits a new intent for `prefix`: `Some(path)` to announce, `None`
+    /// to withdraw. Returns what the caller must do.
+    pub fn submit(&mut self, prefix: Prefix, intent: Option<AsPath>, mode: MraiMode) -> Submit {
+        // Drop no-ops against the eventual neighbor state.
+        if self.intent(prefix) == intent.as_ref() {
+            return Submit::Suppressed;
+        }
+        match intent {
+            None => self.submit_withdraw(prefix, mode),
+            Some(path) => self.submit_announce(prefix, path),
+        }
+    }
+
+    fn submit_withdraw(&mut self, prefix: Prefix, mode: MraiMode) -> Submit {
+        // A queued announcement that never went out is invalidated: if the
+        // neighbor holds nothing, removing it finishes the job silently.
+        self.pending.remove(&prefix);
+        if !self.sent.contains_key(&prefix) {
+            return Submit::Suppressed;
+        }
+        match mode {
+            MraiMode::NoWrate => {
+                // RFC 1771: withdrawals are never rate-limited and do not
+                // arm the timer.
+                self.sent.remove(&prefix);
+                Submit::SendNow {
+                    update: Update::withdraw(prefix),
+                    arm_timer: false,
+                }
+            }
+            MraiMode::Wrate => {
+                if self.is_armed(prefix) {
+                    self.pending.insert(prefix, UpdateKind::Withdraw);
+                    Submit::Queued
+                } else {
+                    self.sent.remove(&prefix);
+                    self.set_armed(prefix);
+                    Submit::SendNow {
+                        update: Update::withdraw(prefix),
+                        arm_timer: true,
+                    }
+                }
+            }
+        }
+    }
+
+    fn submit_announce(&mut self, prefix: Prefix, path: AsPath) -> Submit {
+        if self.is_armed(prefix) {
+            self.pending.insert(prefix, UpdateKind::Announce(path));
+            Submit::Queued
+        } else {
+            debug_assert!(
+                !self.pending.contains_key(&prefix),
+                "pending update with an idle timer"
+            );
+            self.sent.insert(prefix, path.clone());
+            self.set_armed(prefix);
+            Submit::SendNow {
+                update: Update::announce(prefix, path),
+                arm_timer: true,
+            }
+        }
+    }
+
+    /// Handles an MRAI expiry: drains pending updates governed by the
+    /// expired timer (skipping any that have become no-ops against the
+    /// Adj-RIB-out), and reports whether that timer re-arms. When the
+    /// returned flag is `true` the caller must schedule the next expiry;
+    /// the returned updates go on the wire now.
+    ///
+    /// `trigger` identifies the timer: `None` for the per-interface
+    /// session timer, `Some(prefix)` for a per-prefix timer.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `trigger` does not match the queue's
+    /// scope.
+    pub fn flush(&mut self, trigger: Option<Prefix>) -> (Vec<Update>, bool) {
+        match (self.scope, trigger) {
+            (MraiScope::PerInterface, None) => {
+                debug_assert!(self.timer_armed, "flush on an idle queue");
+                let pending = std::mem::take(&mut self.pending);
+                let mut out = Vec::with_capacity(pending.len());
+                for (prefix, kind) in pending {
+                    if let Some(u) = self.emit(prefix, kind) {
+                        out.push(u);
+                    }
+                }
+                let rearm = !out.is_empty();
+                self.timer_armed = rearm;
+                (out, rearm)
+            }
+            (MraiScope::PerPrefix, Some(prefix)) => {
+                debug_assert!(
+                    self.armed_prefixes.contains(&prefix),
+                    "flush on an idle per-prefix timer"
+                );
+                let out: Vec<Update> = self
+                    .pending
+                    .remove(&prefix)
+                    .and_then(|kind| self.emit(prefix, kind))
+                    .into_iter()
+                    .collect();
+                let rearm = !out.is_empty();
+                if !rearm {
+                    self.armed_prefixes.remove(&prefix);
+                }
+                (out, rearm)
+            }
+            (scope, trigger) => {
+                debug_assert!(false, "flush trigger {trigger:?} does not match scope {scope:?}");
+                (Vec::new(), false)
+            }
+        }
+    }
+
+    /// Emits one pending update unless it is a no-op against the
+    /// Adj-RIB-out, updating the Adj-RIB-out on emission.
+    fn emit(&mut self, prefix: Prefix, kind: UpdateKind) -> Option<Update> {
+        match kind {
+            UpdateKind::Announce(path) => {
+                if self.sent.get(&prefix) == Some(&path) {
+                    return None; // neighbor already has it
+                }
+                self.sent.insert(prefix, path.clone());
+                Some(Update::announce(prefix, path))
+            }
+            UpdateKind::Withdraw => {
+                self.sent.remove(&prefix).map(|_| Update::withdraw(prefix))
+            }
+        }
+    }
+
+    /// Clears all routing state (Adj-RIB-out, pending updates).
+    ///
+    /// # Panics
+    /// Panics if the timer is still armed — resetting with an outstanding
+    /// expiry event would desynchronize the simulator.
+    pub fn reset(&mut self) {
+        assert!(!self.timer_armed(), "reset with an armed MRAI timer");
+        self.pending.clear();
+        self.sent.clear();
+    }
+
+    /// Transmits `path` immediately, bypassing the rate limiter — used
+    /// only for the initial full-table exchange of a freshly established
+    /// session, which real BGP does not MRAI-limit (the timer governs
+    /// *subsequent* advertisements). Returns the message to send, or
+    /// `None` if the neighbor already holds an identical route. The
+    /// caller arms the timer once afterwards via [`OutQueue::arm_timer`].
+    ///
+    /// # Panics
+    /// Panics if the timer is armed (a fresh session starts idle).
+    pub fn send_unlimited(&mut self, prefix: Prefix, path: AsPath) -> Option<Update> {
+        assert!(!self.timer_armed(), "initial exchange on a rate-limited session");
+        if self.sent.get(&prefix) == Some(&path) {
+            return None;
+        }
+        self.sent.insert(prefix, path.clone());
+        Some(Update::announce(prefix, path))
+    }
+
+    /// Arms a timer without sending (used after an initial table
+    /// exchange): the per-interface session timer when `prefix` is
+    /// `None`, a per-prefix timer otherwise. The caller must schedule the
+    /// matching expiry.
+    pub fn arm_timer(&mut self, prefix: Option<Prefix>) {
+        match (self.scope, prefix) {
+            (MraiScope::PerInterface, None) => self.timer_armed = true,
+            (MraiScope::PerPrefix, Some(p)) => {
+                self.armed_prefixes.insert(p);
+            }
+            (scope, prefix) => {
+                debug_assert!(false, "arm_timer {prefix:?} does not match scope {scope:?}");
+            }
+        }
+    }
+
+    /// Clears all state unconditionally, disarming the timer — used on a
+    /// **session reset** (the TCP session to the neighbor dropped, so the
+    /// neighbor has discarded everything we sent and any queued updates
+    /// are moot). The caller must ignore or invalidate any outstanding
+    /// expiry event for this queue (the simulator uses an epoch counter).
+    pub fn force_reset(&mut self) {
+        self.timer_armed = false;
+        self.armed_prefixes.clear();
+        self.pending.clear();
+        self.sent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscale_topology::AsId;
+
+    const P: Prefix = Prefix(1);
+    const Q: Prefix = Prefix(2);
+
+    fn path(ids: &[u32]) -> AsPath {
+        ids.iter().map(|&i| AsId(i)).collect()
+    }
+
+    #[test]
+    fn first_announcement_sends_and_arms() {
+        let mut q = OutQueue::new();
+        let r = q.submit(P, Some(path(&[1, 2])), MraiMode::NoWrate);
+        assert_eq!(
+            r,
+            Submit::SendNow {
+                update: Update::announce(P, path(&[1, 2])),
+                arm_timer: true
+            }
+        );
+        assert!(q.timer_armed());
+        assert_eq!(q.advertised(P), Some(&path(&[1, 2])));
+    }
+
+    #[test]
+    fn second_announcement_queues_behind_timer() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        let r = q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate);
+        assert_eq!(r, Submit::Queued);
+        assert_eq!(q.pending_len(), 1);
+        // Adj-RIB-out still shows the transmitted route; intent shows the
+        // queued one.
+        assert_eq!(q.advertised(P), Some(&path(&[1])));
+        assert_eq!(q.intent(P), Some(&path(&[1, 3])));
+    }
+
+    #[test]
+    fn newer_update_replaces_queued_one() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1, 4])), MraiMode::NoWrate);
+        assert_eq!(q.pending_len(), 1, "replaced, not accumulated");
+        let (sent, rearm) = q.flush(None);
+        assert_eq!(sent, vec![Update::announce(P, path(&[1, 4]))]);
+        assert!(rearm);
+    }
+
+    #[test]
+    fn duplicate_announcement_is_suppressed() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        let r = q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        assert_eq!(r, Submit::Suppressed);
+        assert_eq!(q.pending_len(), 0);
+    }
+
+    #[test]
+    fn flush_skips_updates_that_became_noops() {
+        // Send A; queue B; queue A again (flap back). At expiry the
+        // neighbor already holds A → nothing goes out, timer idles.
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[2])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        let (sent, rearm) = q.flush(None);
+        assert!(sent.is_empty());
+        assert!(!rearm);
+        assert!(!q.timer_armed());
+    }
+
+    #[test]
+    fn no_wrate_withdrawal_bypasses_timer() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        assert!(q.timer_armed());
+        let r = q.submit(P, None, MraiMode::NoWrate);
+        assert_eq!(
+            r,
+            Submit::SendNow {
+                update: Update::withdraw(P),
+                arm_timer: false
+            }
+        );
+        assert_eq!(q.advertised(P), None);
+        // Timer stays armed from the earlier announcement.
+        assert!(q.timer_armed());
+    }
+
+    #[test]
+    fn no_wrate_withdrawal_cancels_queued_announcement_silently() {
+        // Announce A (sent), queue announcement for Q, then withdraw Q
+        // before it ever goes out: the neighbor never learned Q, so no
+        // withdrawal is needed at all.
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate);
+        let r = q.submit(Q, None, MraiMode::NoWrate);
+        assert_eq!(r, Submit::Suppressed);
+        let (sent, _) = q.flush(None);
+        assert!(sent.is_empty(), "queued announcement must be invalidated");
+    }
+
+    #[test]
+    fn wrate_withdrawal_queues_behind_timer() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
+        let r = q.submit(P, None, MraiMode::Wrate);
+        assert_eq!(r, Submit::Queued);
+        let (sent, rearm) = q.flush(None);
+        assert_eq!(sent, vec![Update::withdraw(P)]);
+        assert!(rearm, "a transmitted withdrawal re-arms under WRATE");
+    }
+
+    #[test]
+    fn wrate_withdrawal_sends_immediately_when_idle_and_arms() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
+        let (_, rearm) = q.flush(None);
+        assert!(!rearm);
+        let r = q.submit(P, None, MraiMode::Wrate);
+        assert_eq!(
+            r,
+            Submit::SendNow {
+                update: Update::withdraw(P),
+                arm_timer: true
+            }
+        );
+    }
+
+    #[test]
+    fn withdraw_of_never_announced_prefix_is_suppressed() {
+        let mut q = OutQueue::new();
+        assert_eq!(q.submit(P, None, MraiMode::NoWrate), Submit::Suppressed);
+        assert_eq!(q.submit(P, None, MraiMode::Wrate), Submit::Suppressed);
+    }
+
+    #[test]
+    fn announce_after_queued_withdraw_restores_without_traffic() {
+        // A sent; withdraw queued (WRATE); re-announce identical A. The
+        // queued withdraw is replaced by Announce(A), which the flush then
+        // suppresses against the Adj-RIB-out.
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
+        q.submit(P, None, MraiMode::Wrate);
+        let r = q.submit(P, Some(path(&[1])), MraiMode::Wrate);
+        assert_eq!(r, Submit::Queued);
+        let (sent, rearm) = q.flush(None);
+        assert!(sent.is_empty());
+        assert!(!rearm);
+        assert_eq!(q.advertised(P), Some(&path(&[1])));
+    }
+
+    #[test]
+    fn multiple_prefixes_flush_together_in_prefix_order() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate); // sends, arms
+        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate); // queues
+        q.submit(Prefix(0), Some(path(&[3])), MraiMode::NoWrate); // queues
+        let (sent, rearm) = q.flush(None);
+        assert_eq!(
+            sent,
+            vec![
+                Update::announce(Prefix(0), path(&[3])),
+                Update::announce(Q, path(&[2])),
+            ]
+        );
+        assert!(rearm);
+    }
+
+    #[test]
+    fn timer_lifecycle_idle_after_empty_flush() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        let (sent, rearm) = q.flush(None);
+        assert!(sent.is_empty());
+        assert!(!rearm);
+        // Next announcement goes straight out again.
+        let r = q.submit(P, Some(path(&[9])), MraiMode::NoWrate);
+        assert!(matches!(r, Submit::SendNow { .. }));
+    }
+
+    #[test]
+    fn reset_clears_state_when_idle() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.flush(None);
+        q.reset();
+        assert_eq!(q.advertised(P), None);
+        assert_eq!(q.pending_len(), 0);
+    }
+
+    #[test]
+    fn per_prefix_scope_does_not_couple_prefixes() {
+        // Under PerPrefix, announcing P must not rate-limit Q.
+        let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
+        assert!(matches!(
+            q.submit(P, Some(path(&[1])), MraiMode::NoWrate),
+            Submit::SendNow { .. }
+        ));
+        assert!(
+            matches!(
+                q.submit(Q, Some(path(&[2])), MraiMode::NoWrate),
+                Submit::SendNow { .. }
+            ),
+            "a different prefix must not queue behind P's timer"
+        );
+        // But a second update for P itself queues.
+        assert_eq!(
+            q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate),
+            Submit::Queued
+        );
+        assert!(q.is_armed(P));
+        assert!(q.is_armed(Q));
+        assert!(!q.is_armed(Prefix(99)));
+    }
+
+    #[test]
+    fn per_prefix_flush_only_touches_its_prefix() {
+        let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate); // queued
+        q.submit(Q, Some(path(&[2, 4])), MraiMode::NoWrate); // queued
+        let (sent, rearm) = q.flush(Some(P));
+        assert_eq!(sent, vec![Update::announce(P, path(&[1, 3]))]);
+        assert!(rearm);
+        // Q's pending update is untouched.
+        assert_eq!(q.pending_len(), 1);
+        assert_eq!(q.intent(Q), Some(&path(&[2, 4])));
+        let (sent_q, _) = q.flush(Some(Q));
+        assert_eq!(sent_q, vec![Update::announce(Q, path(&[2, 4]))]);
+    }
+
+    #[test]
+    fn per_prefix_timer_idles_after_empty_flush() {
+        let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        let (sent, rearm) = q.flush(Some(P));
+        assert!(sent.is_empty());
+        assert!(!rearm);
+        assert!(!q.is_armed(P));
+        assert!(!q.timer_armed());
+    }
+
+    #[test]
+    fn per_prefix_wrate_withdrawal_queues_only_its_prefix() {
+        let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
+        assert_eq!(q.submit(P, None, MraiMode::Wrate), Submit::Queued);
+        // An idle prefix's withdrawal goes straight out.
+        q.submit(Q, Some(path(&[2])), MraiMode::Wrate);
+        let (s2, _) = q.flush(Some(Q));
+        assert!(s2.is_empty());
+        let r = q.submit(Q, None, MraiMode::Wrate);
+        assert!(matches!(r, Submit::SendNow { arm_timer: true, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "armed MRAI timer")]
+    fn reset_rejects_armed_timer() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.reset();
+    }
+}

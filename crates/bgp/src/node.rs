@@ -1,0 +1,1061 @@
+//! The per-AS BGP speaker: the node model of the paper's Fig. 2.
+//!
+//! A [`BgpNode`] holds, per neighbor session, an Adj-RIB-in slot and an
+//! MRAI-limited output queue ([`crate::mrai::OutQueue`]); per prefix, the
+//! selected best route (Loc-RIB). It is a **pure protocol machine**: every
+//! entry point returns the transmissions and timer requests it produced as
+//! plain data ([`Actions`]), and the caller (the event-driven simulator in
+//! `bgpscale-core`, or a unit test) decides when those happen. The node
+//! never sees the clock.
+//!
+//! Pipeline per received update (Fig. 2): update the neighbor's Adj-RIB-in
+//! → re-run the decision process → if the best route changed, run the
+//! export filter for every neighbor and submit the new intent (announce /
+//! withdraw / nothing) to that neighbor's output queue.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bgpscale_simkernel::SimTime;
+use bgpscale_topology::{AsId, Relationship};
+
+use crate::config::{MraiMode, MraiScope};
+use crate::decision::preference_key;
+use crate::message::{AsPath, Prefix, Update, UpdateKind};
+use crate::mrai::{OutQueue, Submit};
+use crate::policy::{export_allowed, would_loop, RouteSource};
+use crate::rfd::{DampState, FlapKind, RfdConfig};
+
+/// Sentinel slot index meaning "the route is self-originated".
+const SELF_SLOT: u32 = u32::MAX;
+
+/// One configured neighbor session.
+#[derive(Clone, Copy, Debug)]
+pub struct Session {
+    /// The neighbor AS.
+    pub peer: AsId,
+    /// Our relationship to the neighbor.
+    pub rel: Relationship,
+}
+
+/// The transmissions and timer arm requests produced by one protocol step.
+///
+/// `sends` are messages to put on the wire immediately (the simulator adds
+/// link latency); for every slot in `arm_timers` the caller must schedule
+/// one MRAI expiry after a jittered MRAI interval and eventually call
+/// [`BgpNode::mrai_expired`] for it.
+#[derive(Clone, Debug, Default)]
+pub struct Actions {
+    /// `(neighbor slot, message)` pairs to transmit now.
+    pub sends: Vec<(u32, Update)>,
+    /// Slots whose MRAI timer must be armed now.
+    pub arm_timers: Vec<u32>,
+    /// Per-prefix MRAI timers to arm now (only populated under
+    /// [`MraiScope::PerPrefix`]); the caller schedules one expiry per
+    /// entry and eventually calls [`BgpNode::mrai_prefix_expired`].
+    pub arm_prefix_timers: Vec<(u32, Prefix)>,
+    /// Route-flap-damping reuse wake-ups to schedule: at the given time,
+    /// call [`BgpNode::rfd_reuse`] for the (slot, prefix) pair.
+    pub rfd_wakeups: Vec<(u32, Prefix, SimTime)>,
+}
+
+impl Actions {
+    /// True if nothing needs to happen.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+            && self.arm_timers.is_empty()
+            && self.arm_prefix_timers.is_empty()
+            && self.rfd_wakeups.is_empty()
+    }
+
+    fn merge(&mut self, other: Actions) {
+        self.sends.extend(other.sends);
+        self.arm_timers.extend(other.arm_timers);
+        self.arm_prefix_timers.extend(other.arm_prefix_timers);
+        self.rfd_wakeups.extend(other.rfd_wakeups);
+    }
+
+    fn absorb(&mut self, slot: u32, submit: Submit, scope: MraiScope) {
+        match submit {
+            Submit::SendNow { update, arm_timer } => {
+                if arm_timer {
+                    match scope {
+                        MraiScope::PerInterface => self.arm_timers.push(slot),
+                        MraiScope::PerPrefix => {
+                            self.arm_prefix_timers.push((slot, update.prefix));
+                        }
+                    }
+                }
+                self.sends.push((slot, update));
+            }
+            Submit::Queued | Submit::Suppressed => {}
+        }
+    }
+}
+
+/// The selected best route for one prefix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Best {
+    /// Slot the route was learned from, or [`SELF_SLOT`].
+    slot: u32,
+    /// The AS path as received (empty for self-originated routes).
+    path: AsPath,
+}
+
+/// Per-prefix routing state.
+#[derive(Clone, Debug)]
+struct PrefixState {
+    /// Adj-RIB-in: the path most recently announced by each neighbor slot.
+    rib_in: Vec<Option<AsPath>>,
+    /// True while this node originates the prefix.
+    originated: bool,
+    /// Loc-RIB: the current best route.
+    best: Option<Best>,
+}
+
+impl PrefixState {
+    fn new(slots: usize) -> Self {
+        PrefixState {
+            rib_in: vec![None; slots],
+            originated: false,
+            best: None,
+        }
+    }
+}
+
+/// A BGP speaker for one AS.
+#[derive(Clone, Debug)]
+pub struct BgpNode {
+    id: AsId,
+    sessions: Vec<Session>,
+    slot_of: HashMap<AsId, u32>,
+    mode: MraiMode,
+    /// Sender-side loop detection (§4.1). On by default; the ablation
+    /// benches disable it to quantify how much churn it suppresses.
+    sender_loop_check: bool,
+    /// Keyed with a BTreeMap so that whole-table operations (session
+    /// resets) iterate prefixes in a deterministic order.
+    prefixes: BTreeMap<Prefix, PrefixState>,
+    out: Vec<OutQueue>,
+    /// Per-slot session liveness. A down session receives no exports and
+    /// contributes no routes; see [`BgpNode::session_down`].
+    active: Vec<bool>,
+    /// Route Flap Damping configuration; `None` disables damping (the
+    /// paper's configuration).
+    rfd: Option<RfdConfig>,
+    /// Damping state per (slot, prefix); entries exist only for routes
+    /// with flap history.
+    damp: BTreeMap<(u32, Prefix), DampState>,
+}
+
+impl BgpNode {
+    /// Creates a speaker with the given neighbor sessions.
+    ///
+    /// # Panics
+    /// Panics if a neighbor appears twice or equals `id`.
+    pub fn new(id: AsId, sessions: Vec<Session>, mode: MraiMode) -> Self {
+        let mut slot_of = HashMap::with_capacity(sessions.len());
+        for (i, s) in sessions.iter().enumerate() {
+            assert_ne!(s.peer, id, "session with self at {id}");
+            let prev = slot_of.insert(s.peer, i as u32);
+            assert!(prev.is_none(), "duplicate session {id}–{}", s.peer);
+        }
+        let out = sessions.iter().map(|_| OutQueue::new()).collect();
+        let active = vec![true; sessions.len()];
+        BgpNode {
+            id,
+            sessions,
+            slot_of,
+            mode,
+            sender_loop_check: true,
+            prefixes: BTreeMap::new(),
+            out,
+            active,
+            rfd: None,
+            damp: BTreeMap::new(),
+        }
+    }
+
+    /// Enables Route Flap Damping with the given parameters, or disables
+    /// it with `None` (the default; also the paper's configuration).
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`RfdConfig::check`].
+    pub fn set_rfd(&mut self, rfd: Option<RfdConfig>) {
+        if let Some(cfg) = &rfd {
+            cfg.check().unwrap_or_else(|e| panic!("invalid RFD config: {e}"));
+        }
+        self.rfd = rfd;
+    }
+
+    /// True if the route from `slot` for `prefix` is currently damped.
+    pub fn is_suppressed(&self, slot: u32, prefix: Prefix) -> bool {
+        self.damp
+            .get(&(slot, prefix))
+            .is_some_and(|s| s.suppressed)
+    }
+
+    /// Switches the MRAI timer granularity (default:
+    /// [`MraiScope::PerInterface`], the paper's model). Must be called
+    /// before any routing state exists — the output queues are rebuilt.
+    ///
+    /// # Panics
+    /// Panics if the node already holds routing state.
+    pub fn set_mrai_scope(&mut self, scope: MraiScope) {
+        assert!(
+            self.prefixes.is_empty(),
+            "{}: cannot change MRAI scope with live routing state",
+            self.id
+        );
+        self.out = self
+            .sessions
+            .iter()
+            .map(|_| OutQueue::with_scope(scope))
+            .collect();
+    }
+
+    /// The MRAI timer granularity of this speaker.
+    pub fn mrai_scope(&self) -> MraiScope {
+        self.out
+            .first()
+            .map_or(MraiScope::PerInterface, |q| q.scope())
+    }
+
+    /// Enables or disables sender-side loop detection (default: enabled).
+    /// With it disabled, routes are exported even to neighbors on their
+    /// own AS path; the receiver discards them (treating the looping
+    /// announcement as a withdrawal, per RFC 4271's eligibility rule).
+    pub fn set_sender_side_loop_detection(&mut self, enabled: bool) {
+        self.sender_loop_check = enabled;
+    }
+
+    /// This node's AS id.
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// The configured sessions, in slot order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// The slot of neighbor `peer`, if it is one.
+    pub fn slot_of(&self, peer: AsId) -> Option<u32> {
+        self.slot_of.get(&peer).copied()
+    }
+
+    /// The MRAI withdrawal mode this speaker runs.
+    pub fn mode(&self) -> MraiMode {
+        self.mode
+    }
+
+    /// The best route for `prefix`: `None` if unreachable, otherwise the
+    /// next-hop neighbor (`None` when self-originated) and the AS path as
+    /// learned (the next hop is its first element).
+    pub fn best_route(&self, prefix: Prefix) -> Option<(Option<AsId>, &AsPath)> {
+        let best = self.prefixes.get(&prefix)?.best.as_ref()?;
+        if best.slot == SELF_SLOT {
+            Some((None, &best.path))
+        } else {
+            Some((Some(self.sessions[best.slot as usize].peer), &best.path))
+        }
+    }
+
+    /// The path we last transmitted to `slot` for `prefix` (Adj-RIB-out).
+    pub fn advertised(&self, slot: u32, prefix: Prefix) -> Option<&AsPath> {
+        self.out[slot as usize].advertised(prefix)
+    }
+
+    /// True while `slot`'s MRAI timer is armed.
+    pub fn timer_armed(&self, slot: u32) -> bool {
+        self.out[slot as usize].timer_armed()
+    }
+
+    /// Starts originating `prefix`.
+    pub fn originate(&mut self, prefix: Prefix) -> Actions {
+        let slots = self.sessions.len();
+        let st = self
+            .prefixes
+            .entry(prefix)
+            .or_insert_with(|| PrefixState::new(slots));
+        st.originated = true;
+        self.reevaluate(prefix)
+    }
+
+    /// Stops originating `prefix` (the "DOWN" half of a C-event).
+    pub fn withdraw_origin(&mut self, prefix: Prefix) -> Actions {
+        let slots = self.sessions.len();
+        let st = self
+            .prefixes
+            .entry(prefix)
+            .or_insert_with(|| PrefixState::new(slots));
+        st.originated = false;
+        self.reevaluate(prefix)
+    }
+
+    /// Processes one UPDATE received from `from`, with damping disabled
+    /// or time-independent. Equivalent to
+    /// [`BgpNode::handle_update_at`]`(from, update, SimTime::ZERO)`; use
+    /// the `_at` form when Route Flap Damping is enabled (its penalties
+    /// decay in simulated time).
+    ///
+    /// # Panics
+    /// Panics if `from` is not a configured neighbor.
+    pub fn handle_update(&mut self, from: AsId, update: Update) -> Actions {
+        self.handle_update_at(from, update, SimTime::ZERO)
+    }
+
+    /// Processes one UPDATE received from `from` at simulated time `now`.
+    ///
+    /// # Panics
+    /// Panics if `from` is not a configured neighbor.
+    pub fn handle_update_at(&mut self, from: AsId, update: Update, now: SimTime) -> Actions {
+        let slot = *self
+            .slot_of
+            .get(&from)
+            .unwrap_or_else(|| panic!("{}: update from non-neighbor {from}", self.id));
+        let prefix = update.prefix;
+        let slots = self.sessions.len();
+        let st = self
+            .prefixes
+            .entry(prefix)
+            .or_insert_with(|| PrefixState::new(slots));
+
+        // Receiver-side loop detection: a path containing our own AS is
+        // ineligible (RFC 4271) and supersedes whatever the neighbor
+        // previously announced — treat it as a withdrawal. Unreachable
+        // while senders filter, but load-bearing when sender-side
+        // detection is ablated off.
+        let incoming: Option<AsPath> = match update.kind {
+            UpdateKind::Announce(path) if !path.contains(&self.id) => Some(path),
+            _ => None,
+        };
+
+        // Route Flap Damping: charge the figure of merit before
+        // installing. Initial advertisements are free; withdrawals,
+        // re-advertisements and path changes are flaps (RFC 2439).
+        let mut wakeups = Vec::new();
+        if let Some(cfg) = self.rfd.clone() {
+            let key = (slot, prefix);
+            let prev = &st.rib_in[slot as usize];
+            let flap = match (&prev, &incoming) {
+                (Some(_), None) => Some(FlapKind::Withdrawal),
+                (Some(old), Some(new)) if *old != *new => Some(FlapKind::AttributeChange),
+                (None, Some(_)) if self.damp.contains_key(&key) => {
+                    Some(FlapKind::Readvertisement)
+                }
+                _ => None,
+            };
+            if let Some(kind) = flap {
+                let state = self.damp.entry(key).or_default();
+                if state.charge(kind, now, &cfg) {
+                    if let Some(at) = state.reuse_time(&cfg) {
+                        wakeups.push((slot, prefix, at));
+                    }
+                }
+            }
+        }
+
+        let st = self.prefixes.get_mut(&prefix).expect("created above");
+        st.rib_in[slot as usize] = incoming;
+
+        let mut actions = self.reevaluate(prefix);
+        actions.rfd_wakeups.extend(wakeups);
+        actions
+    }
+
+    /// Handles a Route Flap Damping reuse wake-up for `(slot, prefix)`:
+    /// if the decayed penalty has fallen below the reuse threshold, the
+    /// damped route becomes eligible again and the decision process
+    /// re-runs. Early wake-ups (obsoleted by later flaps that extended
+    /// suppression) are no-ops — the later flap scheduled its own wake-up.
+    pub fn rfd_reuse(&mut self, slot: u32, prefix: Prefix, now: SimTime) -> Actions {
+        let Some(cfg) = self.rfd.clone() else {
+            return Actions::default();
+        };
+        let Some(state) = self.damp.get_mut(&(slot, prefix)) else {
+            return Actions::default();
+        };
+        if state.maybe_reuse(now, &cfg) && self.prefixes.contains_key(&prefix) {
+            self.reevaluate(prefix)
+        } else {
+            Actions::default()
+        }
+    }
+
+    /// True while the session at `slot` is established.
+    pub fn session_active(&self, slot: u32) -> bool {
+        self.active[slot as usize]
+    }
+
+    /// Tears down the session at `slot` (link failure / session reset —
+    /// the "L-event" extension of the paper's future work).
+    ///
+    /// All routes learned from the neighbor are invalidated at once (a
+    /// BGP session drop implicitly withdraws the whole Adj-RIB-in), the
+    /// output queue is cleared (the neighbor has likewise discarded our
+    /// routes), and the decision process re-runs for every affected
+    /// prefix; the returned actions notify the *other* neighbors.
+    ///
+    /// The caller must invalidate any outstanding MRAI expiry for this
+    /// slot (the simulator tracks a per-slot epoch).
+    ///
+    /// # Panics
+    /// Panics if the session is already down.
+    pub fn session_down(&mut self, slot: u32) -> Actions {
+        assert!(self.active[slot as usize], "{}: session {slot} already down", self.id);
+        self.active[slot as usize] = false;
+        self.out[slot as usize].force_reset();
+        self.damp.retain(|&(s, _), _| s != slot);
+        let mut actions = Actions::default();
+        let affected: Vec<Prefix> = self
+            .prefixes
+            .iter()
+            .filter(|(_, st)| st.rib_in[slot as usize].is_some())
+            .map(|(&p, _)| p)
+            .collect();
+        for prefix in affected {
+            self.prefixes.get_mut(&prefix).expect("collected above").rib_in[slot as usize] = None;
+            let a = self.reevaluate(prefix);
+            actions.merge(a);
+        }
+        actions
+    }
+
+    /// Re-establishes the session at `slot` and re-advertises the current
+    /// table to the neighbor (the initial full RIB exchange of a fresh
+    /// BGP session), subject to the usual export filters. The neighbor's
+    /// routes arrive through its own `session_up`.
+    ///
+    /// # Panics
+    /// Panics if the session is already up.
+    pub fn session_up(&mut self, slot: u32) -> Actions {
+        assert!(!self.active[slot as usize], "{}: session {slot} already up", self.id);
+        self.active[slot as usize] = true;
+        debug_assert!(!self.out[slot as usize].timer_armed());
+        let mut actions = Actions::default();
+        let session = self.sessions[slot as usize];
+        let snapshot: Vec<(Prefix, u32, AsPath)> = self
+            .prefixes
+            .iter()
+            .filter_map(|(&p, st)| st.best.as_ref().map(|b| (p, b.slot, b.path.clone())))
+            .collect();
+        for (prefix, best_slot, path) in snapshot {
+            let source = if best_slot == SELF_SLOT {
+                RouteSource::SelfOriginated
+            } else {
+                RouteSource::Learned(self.sessions[best_slot as usize].rel)
+            };
+            if !export_allowed(source, session.rel)
+                || (self.sender_loop_check && would_loop(&path, session.peer))
+            {
+                continue;
+            }
+            let mut export_path = AsPath::with_capacity(path.len() + 1);
+            export_path.push(self.id);
+            export_path.extend_from_slice(&path);
+            // The initial table exchange is not rate-limited; MRAI governs
+            // subsequent updates only.
+            if let Some(update) = self.out[slot as usize].send_unlimited(prefix, export_path) {
+                actions.sends.push((slot, update));
+            }
+        }
+        if !actions.sends.is_empty() {
+            match self.mrai_scope() {
+                MraiScope::PerInterface => {
+                    self.out[slot as usize].arm_timer(None);
+                    actions.arm_timers.push(slot);
+                }
+                MraiScope::PerPrefix => {
+                    let prefixes: Vec<Prefix> =
+                        actions.sends.iter().map(|(_, u)| u.prefix).collect();
+                    for p in prefixes {
+                        self.out[slot as usize].arm_timer(Some(p));
+                        actions.arm_prefix_timers.push((slot, p));
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// Handles a per-interface MRAI expiry for `slot`, returning the
+    /// flushed transmissions. The caller re-arms iff `arm_timers` is
+    /// non-empty.
+    pub fn mrai_expired(&mut self, slot: u32) -> Actions {
+        let (updates, rearm) = self.out[slot as usize].flush(None);
+        let mut actions = Actions::default();
+        for u in updates {
+            actions.sends.push((slot, u));
+        }
+        if rearm {
+            actions.arm_timers.push(slot);
+        }
+        actions
+    }
+
+    /// Handles a per-prefix MRAI expiry for `(slot, prefix)` (only under
+    /// [`MraiScope::PerPrefix`]). The caller re-arms iff
+    /// `arm_prefix_timers` is non-empty.
+    pub fn mrai_prefix_expired(&mut self, slot: u32, prefix: Prefix) -> Actions {
+        let (updates, rearm) = self.out[slot as usize].flush(Some(prefix));
+        let mut actions = Actions::default();
+        for u in updates {
+            actions.sends.push((slot, u));
+        }
+        if rearm {
+            actions.arm_prefix_timers.push((slot, prefix));
+        }
+        actions
+    }
+
+    /// Clears all routing state (RIBs, output queues), keeping the session
+    /// configuration. Used between C-events.
+    ///
+    /// # Panics
+    /// Panics if any MRAI timer is still armed (see
+    /// [`crate::mrai::OutQueue::reset`]).
+    pub fn reset_routing(&mut self) {
+        self.prefixes.clear();
+        self.damp.clear();
+        for q in &mut self.out {
+            q.reset();
+        }
+    }
+
+    /// Re-runs the decision process for `prefix`; on a best-route change,
+    /// runs the export filters and submits new intents to every output
+    /// queue.
+    fn reevaluate(&mut self, prefix: Prefix) -> Actions {
+        let st = self.prefixes.get_mut(&prefix).expect("state exists");
+
+        // Decision process.
+        let new_best: Option<Best> = if st.originated {
+            Some(Best {
+                slot: SELF_SLOT,
+                path: AsPath::new(),
+            })
+        } else {
+            let mut winner: Option<(u32, &AsPath)> = None;
+            for (i, entry) in st.rib_in.iter().enumerate() {
+                let Some(path) = entry else { continue };
+                // Damped routes are stored but ineligible (RFC 2439).
+                if self
+                    .damp
+                    .get(&(i as u32, prefix))
+                    .is_some_and(|d| d.suppressed)
+                {
+                    continue;
+                }
+                let cand = crate::decision::Candidate {
+                    neighbor: self.sessions[i].peer,
+                    rel: self.sessions[i].rel,
+                    path,
+                };
+                let better = match winner {
+                    None => true,
+                    Some((wslot, wpath)) => {
+                        let wcand = crate::decision::Candidate {
+                            neighbor: self.sessions[wslot as usize].peer,
+                            rel: self.sessions[wslot as usize].rel,
+                            path: wpath,
+                        };
+                        preference_key(&cand) > preference_key(&wcand)
+                    }
+                };
+                if better {
+                    winner = Some((i as u32, path));
+                }
+            }
+            winner.map(|(slot, path)| Best {
+                slot,
+                path: path.clone(),
+            })
+        };
+
+        if st.best == new_best {
+            return Actions::default();
+        }
+        st.best = new_best;
+        let best = st.best.clone();
+
+        // Export phase.
+        let mut actions = Actions::default();
+        match best {
+            None => {
+                for slot in 0..self.sessions.len() as u32 {
+                    if !self.active[slot as usize] {
+                        continue;
+                    }
+                    let scope = self.out[slot as usize].scope();
+                    let submit = self.out[slot as usize].submit(prefix, None, self.mode);
+                    actions.absorb(slot, submit, scope);
+                }
+            }
+            Some(best) => {
+                let source = if best.slot == SELF_SLOT {
+                    RouteSource::SelfOriginated
+                } else {
+                    RouteSource::Learned(self.sessions[best.slot as usize].rel)
+                };
+                // The exported path: ourselves prepended to the best path.
+                let mut export_path = AsPath::with_capacity(best.path.len() + 1);
+                export_path.push(self.id);
+                export_path.extend_from_slice(&best.path);
+                for slot in 0..self.sessions.len() as u32 {
+                    if !self.active[slot as usize] {
+                        continue;
+                    }
+                    let session = self.sessions[slot as usize];
+                    // The Gao–Rexford filter plus sender-side loop
+                    // detection (the best path necessarily contains the
+                    // neighbor it was learned from, so this also prevents
+                    // echoing a route back to its sender).
+                    let intent = if export_allowed(source, session.rel)
+                        && !(self.sender_loop_check && would_loop(&best.path, session.peer))
+                    {
+                        Some(export_path.clone())
+                    } else {
+                        None
+                    };
+                    let scope = self.out[slot as usize].scope();
+                    let submit = self.out[slot as usize].submit(prefix, intent, self.mode);
+                    actions.absorb(slot, submit, scope);
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Prefix = Prefix(1);
+
+    fn session(peer: u32, rel: Relationship) -> Session {
+        Session {
+            peer: AsId(peer),
+            rel,
+        }
+    }
+
+    /// A node AS0 with a customer AS1, a peer AS2, and a provider AS3.
+    fn node() -> BgpNode {
+        BgpNode::new(
+            AsId(0),
+            vec![
+                session(1, Relationship::Customer),
+                session(2, Relationship::Peer),
+                session(3, Relationship::Provider),
+            ],
+            MraiMode::NoWrate,
+        )
+    }
+
+    fn sends_to(actions: &Actions) -> Vec<u32> {
+        actions.sends.iter().map(|(s, _)| *s).collect()
+    }
+
+    #[test]
+    fn origination_announces_to_everyone() {
+        let mut n = node();
+        let a = n.originate(P);
+        assert_eq!(sends_to(&a), vec![0, 1, 2]);
+        assert_eq!(a.arm_timers, vec![0, 1, 2]);
+        for (_, u) in &a.sends {
+            assert_eq!(u.kind.path(), Some(&vec![AsId(0)]), "path is just the origin");
+        }
+        assert_eq!(n.best_route(P), Some((None, &AsPath::new())));
+    }
+
+    #[test]
+    fn customer_route_exports_to_everyone_else() {
+        let mut n = node();
+        let a = n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        // Export to peer and provider (customer route), but not back to the
+        // customer (loop detection: AS1 is on the path).
+        assert_eq!(sends_to(&a), vec![1, 2]);
+        let (_, u) = &a.sends[0];
+        assert_eq!(u.kind.path(), Some(&vec![AsId(0), AsId(1), AsId(9)]));
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
+    }
+
+    #[test]
+    fn provider_route_exports_only_to_customers() {
+        let mut n = node();
+        let a = n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        assert_eq!(sends_to(&a), vec![0], "only the customer hears about it");
+    }
+
+    #[test]
+    fn peer_route_exports_only_to_customers() {
+        let mut n = node();
+        let a = n.handle_update(AsId(2), Update::announce(P, vec![AsId(2), AsId(9)]));
+        assert_eq!(sends_to(&a), vec![0]);
+    }
+
+    #[test]
+    fn better_route_triggers_reexport_with_new_path() {
+        let mut n = node();
+        // Provider route first: exported to customer only.
+        n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        // Customer route arrives: better (prefer-customer). Peers and
+        // providers hear the new path immediately (their timers are idle).
+        // The customer itself cannot be given its own route back (loop
+        // detection) — instead the stale provider route we advertised to it
+        // is withdrawn, immediately under NO-WRATE.
+        let a = n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(7), AsId(9)]));
+        assert_eq!(sends_to(&a), vec![0, 1, 2]);
+        assert!(a.sends[0].1.kind.is_withdraw(), "stale route to customer revoked");
+        assert_eq!(
+            a.sends[1].1,
+            Update::announce(P, vec![AsId(0), AsId(1), AsId(7), AsId(9)])
+        );
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
+        // Slot 0's timer (armed by the earlier provider-route export) has
+        // nothing pending at expiry and goes idle.
+        let f = n.mrai_expired(0);
+        assert!(f.sends.is_empty());
+        assert!(f.arm_timers.is_empty());
+    }
+
+    #[test]
+    fn worse_route_does_not_displace_best() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        // A provider route arrives; best (customer) unchanged → no exports.
+        let a = n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        assert!(a.is_empty());
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
+    }
+
+    #[test]
+    fn withdrawal_falls_back_to_alternate_route() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        // Customer withdraws; best falls back to the provider route, which
+        // may only be exported to customers. Slot 0's timer is idle (the
+        // customer was never sent anything — loop detection), so the new
+        // announcement goes out at once; slots 1 and 2, which previously
+        // got the customer route, receive withdrawals immediately
+        // (NO-WRATE).
+        let a = n.handle_update(AsId(1), Update::withdraw(P));
+        let withdraws: Vec<u32> = a
+            .sends
+            .iter()
+            .filter(|(_, u)| u.kind.is_withdraw())
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(withdraws, vec![1, 2]);
+        let announces: Vec<u32> = a
+            .sends
+            .iter()
+            .filter(|(_, u)| u.kind.is_announce())
+            .map(|(s, _)| *s)
+            .collect();
+        assert_eq!(announces, vec![0], "customer hears the fallback route");
+        assert_eq!(a.arm_timers, vec![0], "only the announcement arms a timer");
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(3)));
+        // Slot 0's timer expires with nothing pending.
+        let f = n.mrai_expired(0);
+        assert!(f.sends.is_empty());
+    }
+
+    #[test]
+    fn total_loss_withdraws_from_everyone_reached() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        let a = n.handle_update(AsId(1), Update::withdraw(P));
+        // No alternate: withdraw goes to the peers/providers that heard
+        // the announcement. The customer never got it (loop), so no
+        // withdrawal there.
+        let withdraws: Vec<u32> = a.sends.iter().map(|(s, _)| *s).collect();
+        assert_eq!(withdraws, vec![1, 2]);
+        assert!(a.sends.iter().all(|(_, u)| u.kind.is_withdraw()));
+        assert_eq!(n.best_route(P), None);
+        // NO-WRATE: withdrawals did not arm timers.
+        assert!(a.arm_timers.is_empty());
+    }
+
+    #[test]
+    fn wrate_queues_withdrawals_behind_timer() {
+        let mut n = BgpNode::new(
+            AsId(0),
+            vec![session(1, Relationship::Customer), session(2, Relationship::Peer)],
+            MraiMode::Wrate,
+        );
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        // Announcement armed slot 1's timer; the withdrawal must queue.
+        let a = n.handle_update(AsId(1), Update::withdraw(P));
+        assert!(a.sends.is_empty(), "WRATE withdrawal must wait for MRAI");
+        let f = n.mrai_expired(1);
+        assert_eq!(f.sends.len(), 1);
+        assert!(f.sends[0].1.kind.is_withdraw());
+        assert_eq!(f.arm_timers, vec![1], "withdrawal re-arms under WRATE");
+    }
+
+    #[test]
+    fn flap_within_mrai_window_is_absorbed() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        // Withdraw + identical re-announce before any timer expires.
+        let w = n.handle_update(AsId(1), Update::withdraw(P));
+        assert_eq!(w.sends.len(), 2, "withdrawals go out immediately (NO-WRATE)");
+        let r = n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        // Timers on slots 1,2 are armed, so the re-announcements queue.
+        assert!(r.sends.is_empty());
+        let f1 = n.mrai_expired(1);
+        assert_eq!(f1.sends.len(), 1);
+        assert!(f1.sends[0].1.kind.is_announce());
+    }
+
+    #[test]
+    fn self_origination_beats_any_learned_route() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        n.originate(P);
+        assert_eq!(n.best_route(P), Some((None, &AsPath::new())));
+        // Withdrawing the origin falls back to the learned route.
+        n.withdraw_origin(P);
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
+    }
+
+    #[test]
+    fn decision_prefers_shorter_path_among_customers() {
+        let mut n = BgpNode::new(
+            AsId(0),
+            vec![
+                session(1, Relationship::Customer),
+                session(2, Relationship::Customer),
+            ],
+            MraiMode::NoWrate,
+        );
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(8), AsId(9)]));
+        n.handle_update(AsId(2), Update::announce(P, vec![AsId(2), AsId(9)]));
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(2)));
+    }
+
+    #[test]
+    fn looping_announcement_is_ignored() {
+        let mut n = node();
+        let a = n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(0), AsId(9)]));
+        assert!(a.is_empty());
+        assert_eq!(n.best_route(P), None);
+    }
+
+    #[test]
+    fn reset_routing_clears_ribs_but_keeps_sessions() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        // Only slots 1 and 2 were armed (the customer route was exported
+        // to the peer and provider; nothing went back to the customer).
+        n.mrai_expired(1);
+        n.mrai_expired(2);
+        n.reset_routing();
+        assert_eq!(n.best_route(P), None);
+        assert_eq!(n.sessions().len(), 3);
+        assert_eq!(n.advertised(1, P), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "update from non-neighbor")]
+    fn update_from_stranger_panics() {
+        let mut n = node();
+        n.handle_update(AsId(42), Update::withdraw(P));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate session")]
+    fn duplicate_sessions_rejected() {
+        BgpNode::new(
+            AsId(0),
+            vec![session(1, Relationship::Peer), session(1, Relationship::Customer)],
+            MraiMode::NoWrate,
+        );
+    }
+
+    #[test]
+    fn session_down_invalidates_learned_routes_and_notifies_others() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
+        // The customer session drops: its route is gone, and the peers/
+        // providers that heard the customer route get withdrawals.
+        let a = n.session_down(0);
+        assert!(!n.session_active(0));
+        assert_eq!(n.best_route(P), None);
+        let withdraws: Vec<u32> = a.sends.iter().map(|(s, _)| *s).collect();
+        assert_eq!(withdraws, vec![1, 2]);
+        assert!(a.sends.iter().all(|(_, u)| u.kind.is_withdraw()));
+    }
+
+    #[test]
+    fn down_session_receives_no_exports() {
+        let mut n = node();
+        n.session_down(0);
+        // A new best route arrives from the provider; normally the
+        // customer (slot 0) would hear it, but the session is down.
+        let a = n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        assert!(a.sends.iter().all(|(s, _)| *s != 0));
+        assert_eq!(n.advertised(0, P), None);
+    }
+
+    #[test]
+    fn session_up_replays_the_table() {
+        let mut n = node();
+        n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        n.originate(Prefix(7));
+        // Drop and restore the customer session: on restore it must learn
+        // both the provider-learned route and the originated prefix
+        // (customers receive everything).
+        n.session_down(0);
+        let a = n.session_up(0);
+        assert!(n.session_active(0));
+        let mut prefixes: Vec<Prefix> = a.sends.iter().map(|(_, u)| u.prefix).collect();
+        prefixes.sort();
+        assert_eq!(prefixes, vec![P, Prefix(7)]);
+        assert!(a.sends.iter().all(|(s, u)| *s == 0 && u.kind.is_announce()));
+        // The full-table replay arms the MRAI timer once.
+        assert_eq!(a.arm_timers, vec![0]);
+    }
+
+    #[test]
+    fn session_up_respects_export_policy() {
+        // A provider-learned route must not be replayed to a peer session
+        // that comes back up.
+        let mut n = node();
+        n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        n.session_down(1); // peer
+        let a = n.session_up(1);
+        assert!(a.sends.is_empty(), "provider route leaked to peer on replay");
+    }
+
+    #[test]
+    fn session_down_clears_output_queue_state() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        assert!(n.advertised(1, P).is_some());
+        n.session_down(1);
+        assert_eq!(n.advertised(1, P), None);
+        assert!(!n.timer_armed(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_session_down_panics() {
+        let mut n = node();
+        n.session_down(0);
+        n.session_down(0);
+    }
+
+    #[test]
+    fn rfd_suppresses_flapping_route_and_falls_back() {
+        use crate::rfd::RfdConfig;
+        use bgpscale_simkernel::{SimDuration, SimTime};
+        let mut n = node();
+        n.set_rfd(Some(RfdConfig::default()));
+        // A stable alternate via the provider.
+        n.handle_update_at(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]), SimTime::ZERO);
+        // The customer route flaps: announce, withdraw, announce, withdraw…
+        let mut t = SimTime::from_secs(1);
+        for _ in 0..3 {
+            n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), t);
+            t = t + SimDuration::from_secs(1);
+            n.handle_update_at(AsId(1), Update::withdraw(P), t);
+            t = t + SimDuration::from_secs(1);
+        }
+        // Withdrawal(1000) ×3 + readvert(1000) ×2 ≫ suppress threshold.
+        assert!(n.is_suppressed(0, P));
+        // A further announcement installs the route but the decision
+        // sticks with the stable provider route.
+        n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), t);
+        assert_eq!(
+            n.best_route(P).unwrap().0,
+            Some(AsId(3)),
+            "damped customer route must not win despite higher local-pref"
+        );
+    }
+
+    #[test]
+    fn rfd_reuse_restores_eligibility() {
+        use crate::rfd::RfdConfig;
+        use bgpscale_simkernel::{SimDuration, SimTime};
+        let mut n = node();
+        n.set_rfd(Some(RfdConfig::default()));
+        n.handle_update_at(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]), SimTime::ZERO);
+        let mut t = SimTime::from_secs(1);
+        let mut wake = None;
+        for _ in 0..4 {
+            n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), t);
+            t = t + SimDuration::from_secs(1);
+            let a = n.handle_update_at(AsId(1), Update::withdraw(P), t);
+            if let Some(&(_, _, at)) = a.rfd_wakeups.last() {
+                wake = Some(at);
+            }
+            t = t + SimDuration::from_secs(1);
+        }
+        // Final state: suppressed, route re-announced and stored.
+        n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), t);
+        assert!(n.is_suppressed(0, P));
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(3)));
+        // Too-early wake-up: still suppressed.
+        let early = n.rfd_reuse(0, P, t + SimDuration::from_secs(60));
+        assert!(early.is_empty());
+        assert!(n.is_suppressed(0, P));
+        // Well past the scheduled reuse time the customer route wins
+        // again.
+        let wake = wake.expect("a wake-up was scheduled") + SimDuration::from_secs(3600);
+        n.rfd_reuse(0, P, wake);
+        assert!(!n.is_suppressed(0, P));
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
+        // The re-selection's announcements queue behind the MRAI timers
+        // armed during the flapping; flushing the peer slot reveals the
+        // new best path on the wire.
+        let f = n.mrai_expired(1);
+        assert!(
+            f.sends.iter().any(|(_, u)| u.kind.is_announce()),
+            "re-selection must (eventually) announce the change"
+        );
+    }
+
+    #[test]
+    fn rfd_initial_advertisement_is_free() {
+        use crate::rfd::RfdConfig;
+        use bgpscale_simkernel::SimTime;
+        let mut n = node();
+        n.set_rfd(Some(RfdConfig::default()));
+        n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), SimTime::ZERO);
+        assert!(!n.is_suppressed(0, P));
+        // Stable routes never accumulate penalty: identical re-announce
+        // is a no-op, not a flap.
+        n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), SimTime::ZERO);
+        assert!(!n.is_suppressed(0, P));
+        assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
+    }
+
+    #[test]
+    fn rfd_disabled_means_no_suppression_ever() {
+        use bgpscale_simkernel::SimTime;
+        let mut n = node();
+        for _ in 0..20 {
+            n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), SimTime::ZERO);
+            n.handle_update_at(AsId(1), Update::withdraw(P), SimTime::ZERO);
+        }
+        assert!(!n.is_suppressed(0, P));
+    }
+
+    #[test]
+    fn advertised_tracks_what_was_sent() {
+        let mut n = node();
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        assert_eq!(
+            n.advertised(1, P),
+            Some(&vec![AsId(0), AsId(1), AsId(9)])
+        );
+        assert_eq!(n.advertised(0, P), None, "never sent back to learner");
+        assert!(n.timer_armed(1));
+        assert!(!n.timer_armed(0));
+    }
+}

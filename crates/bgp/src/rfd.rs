@@ -1,0 +1,283 @@
+//! Route Flap Damping (RFC 2439) — an optional receiver-side mechanism
+//! the paper lists as future work ("other BGP mechanisms and
+//! configurations, such as Route Flap Dampening").
+//!
+//! Each (neighbor session, prefix) pair accumulates a **figure of merit**
+//! (penalty): withdrawals and re-advertisements add to it, and it decays
+//! exponentially with a configurable half-life. While the penalty exceeds
+//! the suppress threshold the route is **damped** — stored but ineligible
+//! for the decision process — until decay brings it below the reuse
+//! threshold.
+//!
+//! The implementation uses lazy decay (the penalty is brought current
+//! whenever it is touched), so no periodic timer is needed; only a single
+//! *reuse* wake-up per suppressed route, which the host simulator
+//! schedules through [`crate::node::Actions::rfd_wakeups`].
+
+use bgpscale_simkernel::{SimDuration, SimTime};
+
+/// Damping parameters. Defaults follow the common vendor configuration
+/// (Cisco-style): withdrawal penalty 1000, re-advertisement 1000,
+/// attribute change 500, suppress at 2000, reuse at 750, 15-minute
+/// half-life, penalty ceiling from a 60-minute maximum suppress time.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RfdConfig {
+    /// Penalty added when the neighbor withdraws the route.
+    pub withdraw_penalty: f64,
+    /// Penalty added when the neighbor re-advertises after a withdrawal.
+    pub readvertise_penalty: f64,
+    /// Penalty added when an advertisement changes the route's path.
+    pub attribute_change_penalty: f64,
+    /// Suppress the route when the penalty exceeds this.
+    pub suppress_threshold: f64,
+    /// Un-suppress when decay brings the penalty below this.
+    pub reuse_threshold: f64,
+    /// Exponential decay half-life.
+    pub half_life: SimDuration,
+    /// Upper bound on the accumulated penalty (bounds suppression time).
+    pub max_penalty: f64,
+}
+
+impl Default for RfdConfig {
+    fn default() -> Self {
+        RfdConfig {
+            withdraw_penalty: 1_000.0,
+            readvertise_penalty: 1_000.0,
+            attribute_change_penalty: 500.0,
+            suppress_threshold: 2_000.0,
+            reuse_threshold: 750.0,
+            half_life: SimDuration::from_secs(15 * 60),
+            // reuse × 2^(max_suppress / half_life) with 60-min max
+            // suppress: 750 × 2⁴.
+            max_penalty: 12_000.0,
+        }
+    }
+}
+
+impl RfdConfig {
+    /// Validates threshold ordering and positivity.
+    ///
+    /// # Errors
+    /// Returns a description of the first invalid field.
+    pub fn check(&self) -> Result<(), String> {
+        if self.reuse_threshold <= 0.0 || !self.reuse_threshold.is_finite() {
+            return Err("reuse_threshold must be positive".into());
+        }
+        if self.suppress_threshold <= self.reuse_threshold {
+            return Err(format!(
+                "suppress_threshold {} must exceed reuse_threshold {}",
+                self.suppress_threshold, self.reuse_threshold
+            ));
+        }
+        if self.max_penalty < self.suppress_threshold {
+            return Err("max_penalty must be at least suppress_threshold".into());
+        }
+        if self.half_life.is_zero() {
+            return Err("half_life must be positive".into());
+        }
+        for (name, v) in [
+            ("withdraw_penalty", self.withdraw_penalty),
+            ("readvertise_penalty", self.readvertise_penalty),
+            ("attribute_change_penalty", self.attribute_change_penalty),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and ≥ 0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The kind of event being charged to the figure of merit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlapKind {
+    /// The neighbor withdrew the route.
+    Withdrawal,
+    /// The neighbor re-advertised a previously withdrawn route.
+    Readvertisement,
+    /// The neighbor advertised the route with a changed path.
+    AttributeChange,
+}
+
+/// Per-(session, prefix) damping state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DampState {
+    /// The figure of merit at `updated_at`.
+    pub penalty: f64,
+    /// When `penalty` was last brought current.
+    pub updated_at: SimTime,
+    /// True while the route is suppressed.
+    pub suppressed: bool,
+}
+
+impl DampState {
+    /// The penalty decayed to time `now`.
+    pub fn penalty_at(&self, now: SimTime, cfg: &RfdConfig) -> f64 {
+        let dt = now.saturating_since(self.updated_at).as_secs_f64();
+        let half_lives = dt / cfg.half_life.as_secs_f64();
+        self.penalty * 0.5f64.powf(half_lives)
+    }
+
+    /// Brings the penalty current and charges one flap event. Returns the
+    /// new suppression state.
+    pub fn charge(&mut self, kind: FlapKind, now: SimTime, cfg: &RfdConfig) -> bool {
+        let add = match kind {
+            FlapKind::Withdrawal => cfg.withdraw_penalty,
+            FlapKind::Readvertisement => cfg.readvertise_penalty,
+            FlapKind::AttributeChange => cfg.attribute_change_penalty,
+        };
+        self.penalty = (self.penalty_at(now, cfg) + add).min(cfg.max_penalty);
+        self.updated_at = now;
+        if self.penalty > cfg.suppress_threshold {
+            self.suppressed = true;
+        }
+        self.suppressed
+    }
+
+    /// Re-checks suppression at `now` (used at reuse wake-ups): if the
+    /// decayed penalty fell below the reuse threshold the route becomes
+    /// eligible again. Returns true if the state changed.
+    pub fn maybe_reuse(&mut self, now: SimTime, cfg: &RfdConfig) -> bool {
+        if !self.suppressed {
+            return false;
+        }
+        let current = self.penalty_at(now, cfg);
+        if current <= cfg.reuse_threshold {
+            self.penalty = current;
+            self.updated_at = now;
+            self.suppressed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest time at which the decayed penalty reaches the reuse
+    /// threshold (when suppressed; `None` otherwise).
+    pub fn reuse_time(&self, cfg: &RfdConfig) -> Option<SimTime> {
+        if !self.suppressed {
+            return None;
+        }
+        if self.penalty <= cfg.reuse_threshold {
+            return Some(self.updated_at);
+        }
+        // penalty × 0.5^(t/half_life) = reuse  ⇒  t = half_life · log2(penalty/reuse).
+        // A millisecond of slack guards against the wake-up firing a
+        // float-rounding hair *before* the penalty crosses the threshold.
+        let half_lives = (self.penalty / cfg.reuse_threshold).log2();
+        let dt = cfg.half_life.as_secs_f64() * half_lives;
+        Some(self.updated_at + SimDuration::from_secs_f64(dt) + SimDuration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RfdConfig {
+        RfdConfig::default()
+    }
+
+    #[test]
+    fn default_config_validates() {
+        cfg().check().unwrap();
+    }
+
+    #[test]
+    fn config_rejects_inverted_thresholds() {
+        let mut c = cfg();
+        c.reuse_threshold = 3_000.0;
+        assert!(c.check().is_err());
+        let mut c = cfg();
+        c.max_penalty = 100.0;
+        assert!(c.check().is_err());
+        let mut c = cfg();
+        c.half_life = SimDuration::ZERO;
+        assert!(c.check().is_err());
+    }
+
+    #[test]
+    fn one_withdrawal_does_not_suppress() {
+        let mut s = DampState::default();
+        let suppressed = s.charge(FlapKind::Withdrawal, SimTime::ZERO, &cfg());
+        assert!(!suppressed);
+        assert_eq!(s.penalty, 1_000.0);
+    }
+
+    #[test]
+    fn rapid_flaps_suppress() {
+        let mut s = DampState::default();
+        let c = cfg();
+        let t = SimTime::from_secs(1);
+        s.charge(FlapKind::Withdrawal, t, &c);
+        s.charge(FlapKind::Readvertisement, t, &c);
+        assert!(!s.suppressed, "2000 does not exceed the threshold");
+        let suppressed = s.charge(FlapKind::Withdrawal, t, &c);
+        assert!(suppressed, "third flap crosses 2000");
+    }
+
+    #[test]
+    fn penalty_decays_with_half_life() {
+        let mut s = DampState::default();
+        let c = cfg();
+        s.charge(FlapKind::Withdrawal, SimTime::ZERO, &c);
+        let after_one_half_life = s.penalty_at(SimTime::ZERO + c.half_life, &c);
+        assert!((after_one_half_life - 500.0).abs() < 1e-9);
+        let after_two = s.penalty_at(
+            SimTime::ZERO + c.half_life + c.half_life,
+            &c,
+        );
+        assert!((after_two - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn penalty_is_capped() {
+        let mut s = DampState::default();
+        let c = cfg();
+        for _ in 0..100 {
+            s.charge(FlapKind::Withdrawal, SimTime::ZERO, &c);
+        }
+        assert_eq!(s.penalty, c.max_penalty);
+    }
+
+    #[test]
+    fn reuse_time_matches_decay() {
+        let mut s = DampState::default();
+        let c = cfg();
+        let t0 = SimTime::from_secs(100);
+        for _ in 0..3 {
+            s.charge(FlapKind::Withdrawal, t0, &c);
+        }
+        assert!(s.suppressed);
+        let reuse_at = s.reuse_time(&c).unwrap();
+        // Penalty 3000 → 750 takes exactly 2 half-lives (plus the 1 ms
+        // float-rounding guard).
+        let expected = t0 + SimDuration::from_secs(2 * 15 * 60) + SimDuration::from_millis(1);
+        assert_eq!(reuse_at, expected);
+        // Just before: still suppressed; at the time: reusable.
+        assert!(!s.clone().maybe_reuse(t0 + c.half_life, &c));
+        let mut s2 = s.clone();
+        assert!(s2.maybe_reuse(reuse_at + SimDuration::from_micros(1), &c));
+        assert!(!s2.suppressed);
+    }
+
+    #[test]
+    fn reuse_is_noop_when_not_suppressed() {
+        let mut s = DampState::default();
+        let c = cfg();
+        s.charge(FlapKind::AttributeChange, SimTime::ZERO, &c);
+        assert!(!s.maybe_reuse(SimTime::from_secs(10_000), &c));
+        assert_eq!(s.reuse_time(&c), None);
+    }
+
+    #[test]
+    fn attribute_changes_cost_less_than_withdrawals() {
+        let c = cfg();
+        let mut a = DampState::default();
+        let mut w = DampState::default();
+        a.charge(FlapKind::AttributeChange, SimTime::ZERO, &c);
+        w.charge(FlapKind::Withdrawal, SimTime::ZERO, &c);
+        assert!(a.penalty < w.penalty);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the protocol machine: the decision process is
+//! a strict total order; the MRAI output queue never lies to the
+//! neighbor.
+
+use bgpscale_bgp::decision::{preference_key, select_best, Candidate};
+use bgpscale_bgp::mrai::{OutQueue, Submit};
+use bgpscale_bgp::{AsPath, MraiMode, Prefix, Update, UpdateKind};
+use bgpscale_topology::{AsId, Relationship};
+use proptest::prelude::*;
+
+fn rel_strategy() -> impl Strategy<Value = Relationship> {
+    prop::sample::select(vec![
+        Relationship::Customer,
+        Relationship::Peer,
+        Relationship::Provider,
+    ])
+}
+
+fn path_strategy() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec((0u32..1000).prop_map(AsId), 1..8)
+}
+
+proptest! {
+    /// The decision order is total and antisymmetric over distinct
+    /// neighbors: keys never tie, so `select_best` has a unique winner
+    /// regardless of presentation order.
+    #[test]
+    fn decision_is_presentation_order_independent(
+        entries in prop::collection::vec((0u32..10_000, rel_strategy(), path_strategy()), 1..12),
+    ) {
+        // Deduplicate neighbor ids (one route per session).
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<_> = entries
+            .into_iter()
+            .filter(|(id, _, _)| seen.insert(*id))
+            .collect();
+        let cands: Vec<Candidate<'_>> = entries
+            .iter()
+            .map(|(id, rel, path)| Candidate { neighbor: AsId(*id), rel: *rel, path })
+            .collect();
+        let winner = select_best(&cands).unwrap();
+        let winner_id = cands[winner].neighbor;
+        let mut reversed = cands.clone();
+        reversed.reverse();
+        let winner2 = select_best(&reversed).unwrap();
+        prop_assert_eq!(reversed[winner2].neighbor, winner_id);
+        // The winner's key is strictly the maximum.
+        for (i, c) in cands.iter().enumerate() {
+            if i != winner {
+                prop_assert!(preference_key(&cands[winner]) > preference_key(c));
+            }
+        }
+    }
+
+    /// Local preference dominates path length: a customer route always
+    /// beats any peer/provider route regardless of lengths.
+    #[test]
+    fn customer_routes_always_win(
+        cust_path in path_strategy(),
+        other_path in path_strategy(),
+        other_rel in prop::sample::select(vec![Relationship::Peer, Relationship::Provider]),
+    ) {
+        let cands = vec![
+            Candidate { neighbor: AsId(1), rel: Relationship::Customer, path: &cust_path },
+            Candidate { neighbor: AsId(2), rel: other_rel, path: &other_path },
+        ];
+        prop_assert_eq!(select_best(&cands), Some(0));
+    }
+
+    /// MRAI queue soundness: after any sequence of submissions and
+    /// flushes, replaying every transmitted update against a model of the
+    /// neighbor's state reproduces the queue's Adj-RIB-out, and once all
+    /// timers drain the neighbor's state equals the last submitted
+    /// intent.
+    #[test]
+    fn outqueue_never_lies(
+        mode in prop::sample::select(vec![MraiMode::NoWrate, MraiMode::Wrate]),
+        script in prop::collection::vec(
+            // (prefix 0..3, intent: None = withdraw, Some(k) = announce path k)
+            ((0u32..3).prop_map(Prefix), prop::option::of(0u32..5), any::<bool>()),
+            1..60,
+        ),
+    ) {
+        let mut q = OutQueue::new();
+        // The neighbor's view, replayed from transmissions.
+        let mut neighbor: std::collections::HashMap<Prefix, AsPath> = Default::default();
+        // The latest intent per prefix.
+        let mut intent: std::collections::HashMap<Prefix, Option<AsPath>> = Default::default();
+
+        let apply = |neighbor: &mut std::collections::HashMap<Prefix, AsPath>, u: Update| {
+            match u.kind {
+                UpdateKind::Announce(p) => { neighbor.insert(u.prefix, p); }
+                UpdateKind::Withdraw => {
+                    prop_assert!(neighbor.remove(&u.prefix).is_some(),
+                        "withdrawal for a route the neighbor does not hold");
+                    }
+            }
+            Ok(())
+        };
+
+        for (prefix, path_id, flush_after) in script {
+            let path: Option<AsPath> = path_id.map(|k| vec![AsId(100 + k), AsId(999)]);
+            intent.insert(prefix, path.clone());
+            match q.submit(prefix, path, mode) {
+                Submit::SendNow { update, .. } => apply(&mut neighbor, update)?,
+                Submit::Queued | Submit::Suppressed => {}
+            }
+            if flush_after && q.timer_armed() {
+                let (sent, _) = q.flush(None);
+                for u in sent {
+                    apply(&mut neighbor, u)?;
+                }
+            }
+            // Invariant: the neighbor state always equals the Adj-RIB-out.
+            for p in [Prefix(0), Prefix(1), Prefix(2)] {
+                prop_assert_eq!(neighbor.get(&p), q.advertised(p),
+                    "Adj-RIB-out diverged from the neighbor's actual state");
+            }
+        }
+
+        // Drain all timers.
+        while q.timer_armed() {
+            let (sent, _) = q.flush(None);
+            for u in sent {
+                apply(&mut neighbor, u)?;
+            }
+        }
+        // Final neighbor state must equal the final intents.
+        for p in [Prefix(0), Prefix(1), Prefix(2)] {
+            let want = intent.get(&p).cloned().flatten();
+            prop_assert_eq!(neighbor.get(&p).cloned(), want,
+                "after drain, neighbor state != last intent for {:?}", p);
+        }
+    }
+
+    /// Duplicate submissions are always suppressed, never re-sent.
+    #[test]
+    fn duplicate_intent_suppressed(
+        mode in prop::sample::select(vec![MraiMode::NoWrate, MraiMode::Wrate]),
+        path in path_strategy(),
+    ) {
+        let mut q = OutQueue::new();
+        let first = q.submit(Prefix(0), Some(path.clone()), mode);
+        let sent_now = matches!(first, Submit::SendNow { .. });
+        prop_assert!(sent_now);
+        let second = q.submit(Prefix(0), Some(path), mode);
+        prop_assert_eq!(second, Submit::Suppressed);
+    }
+}

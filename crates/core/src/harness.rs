@@ -1,0 +1,301 @@
+//! The experiment harness: many C-events, averaged.
+//!
+//! The paper's procedure (§4): *"The experiment is repeated for 100
+//! different C nodes …, and the number of received updates is measured at
+//! every node in the network. We then average over all nodes of a given
+//! type, and report this average."*
+//!
+//! [`run_experiment`] generates the topology, runs `events` C-events from
+//! distinct C-type originators, folds each event's churn counters into the
+//! m/q/e factor accumulator, and reports per-type means plus the raw
+//! per-event series needed for confidence intervals.
+
+use bgpscale_bgp::{BgpConfig, Prefix};
+use bgpscale_simkernel::rng::{hash64_pair, Rng, Xoshiro256StarStar};
+use bgpscale_topology::{generate, AsId, GrowthScenario, NodeType, Relationship};
+
+use crate::cevent::run_c_event;
+use crate::factors::{node_factors, type_index, FactorAccumulator, FactorMeans};
+use crate::sim::Simulator;
+
+/// Everything needed to reproduce one experiment cell.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The topology growth model.
+    pub scenario: GrowthScenario,
+    /// Network size.
+    pub n: usize,
+    /// Number of C-event originators (the paper uses 100).
+    pub events: usize,
+    /// Master seed; fans out into topology / simulation / sampling
+    /// streams.
+    pub seed: u64,
+    /// Protocol configuration (MRAI mode etc.).
+    pub bgp: BgpConfig,
+}
+
+/// Churn summary for one node type.
+#[derive(Clone, Debug, Default)]
+pub struct TypeChurn {
+    /// Number of nodes of this type in the topology.
+    pub node_count: usize,
+    /// Mean updates received per node per C-event — the paper's `U(X)`.
+    pub u_total: f64,
+    /// Factor means per relationship class (customer, peer, provider).
+    pub factors: [FactorMeans; 3],
+    /// Per-event means of `U(X)` (length = number of events), for
+    /// variance and confidence intervals.
+    pub per_event_u: Vec<f64>,
+}
+
+/// The result of [`run_experiment`].
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// The configuration that produced this report.
+    pub scenario: GrowthScenario,
+    /// Network size.
+    pub n: usize,
+    /// Events actually run (may be fewer than requested if the topology
+    /// has fewer C nodes).
+    pub events: usize,
+    /// Per-type summaries indexed by [`type_index`].
+    pub types: [TypeChurn; 4],
+    /// Mean network-wide updates per C-event.
+    pub mean_total_updates: f64,
+    /// Mean simulated DOWN-phase convergence time (seconds).
+    pub mean_down_convergence_s: f64,
+    /// Mean simulated UP-phase convergence time (seconds).
+    pub mean_up_convergence_s: f64,
+}
+
+impl ChurnReport {
+    /// The summary for one node type.
+    pub fn by_type(&self, ty: NodeType) -> &TypeChurn {
+        &self.types[type_index(ty)]
+    }
+
+    /// Convenience: `U_y(X)` — mean updates a node of type `ty` receives
+    /// from neighbors of class `rel` per C-event (e.g. `Uc(T)`).
+    pub fn u(&self, ty: NodeType, rel: Relationship) -> f64 {
+        self.by_type(ty).factors[crate::factors::rel_index(rel)].u
+    }
+
+    /// Convenience: the factor means for `(type, relationship)`.
+    pub fn factor(&self, ty: NodeType, rel: Relationship) -> FactorMeans {
+        self.by_type(ty).factors[crate::factors::rel_index(rel)]
+    }
+}
+
+/// Runs the full averaged C-event experiment for one configuration.
+///
+/// Deterministic: equal configs produce equal reports.
+///
+/// # Panics
+/// Panics if the topology contains no C nodes (every paper scenario has
+/// them) or if a phase exceeds the simulator's event budget.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ChurnReport {
+    let topo_seed = hash64_pair(cfg.seed, 0x7090);
+    let sim_seed = hash64_pair(cfg.seed, 0x51B);
+    let pick_seed = hash64_pair(cfg.seed, 0x0121);
+
+    let graph = generate(cfg.scenario, cfg.n, topo_seed);
+    let node_counts: [usize; 4] = [
+        graph.count_of_type(NodeType::T),
+        graph.count_of_type(NodeType::M),
+        graph.count_of_type(NodeType::Cp),
+        graph.count_of_type(NodeType::C),
+    ];
+    let node_types: Vec<NodeType> = graph.node_ids().map(|id| graph.node_type(id)).collect();
+
+    // Choose distinct C-type originators.
+    let mut c_nodes = graph.nodes_of_type(NodeType::C);
+    assert!(!c_nodes.is_empty(), "{} at n={} has no C nodes", cfg.scenario, cfg.n);
+    let mut pick_rng = Xoshiro256StarStar::new(pick_seed);
+    pick_rng.shuffle(&mut c_nodes);
+    c_nodes.truncate(cfg.events.max(1));
+
+    let mut sim = Simulator::new(graph, cfg.bgp.clone(), sim_seed);
+    let mut acc = FactorAccumulator::new();
+    let mut per_event_u: [Vec<f64>; 4] = Default::default();
+    let mut total_updates_sum = 0.0;
+    let mut down_sum = 0.0;
+    let mut up_sum = 0.0;
+
+    for (k, &origin) in c_nodes.iter().enumerate() {
+        let outcome = run_c_event(&mut sim, origin, Prefix(k as u32))
+            .unwrap_or_else(|e| panic!("{} n={} event {k}: {e}", cfg.scenario, cfg.n));
+        total_updates_sum += outcome.total_updates as f64;
+        down_sum += outcome.down_convergence.as_secs_f64();
+        up_sum += outcome.up_convergence.as_secs_f64();
+
+        // Fold per-node factors; track per-event per-type means.
+        let mut event_u_sum = [0.0f64; 4];
+        let mut event_u_cnt = [0u64; 4];
+        for (id, &ty) in node_types.iter().enumerate() {
+            let node = AsId(id as u32);
+            if node == origin {
+                continue; // the originator causes the event, it does not observe it
+            }
+            let f = node_factors(&sim, node);
+            let t = type_index(ty);
+            acc.add(ty, &f);
+            event_u_sum[t] += f.total_updates() as f64;
+            event_u_cnt[t] += 1;
+        }
+        for t in 0..4 {
+            if event_u_cnt[t] > 0 {
+                per_event_u[t].push(event_u_sum[t] / event_u_cnt[t] as f64);
+            }
+        }
+
+        sim.reset_routing();
+        sim.churn_mut().reset();
+    }
+
+    let events = c_nodes.len();
+    let mut types: [TypeChurn; 4] = Default::default();
+    for (t, ty) in [NodeType::T, NodeType::M, NodeType::Cp, NodeType::C]
+        .into_iter()
+        .enumerate()
+    {
+        types[t] = TypeChurn {
+            node_count: node_counts[t],
+            u_total: acc.mean_total(ty),
+            factors: [
+                acc.means(ty, Relationship::Customer),
+                acc.means(ty, Relationship::Peer),
+                acc.means(ty, Relationship::Provider),
+            ],
+            per_event_u: std::mem::take(&mut per_event_u[t]),
+        };
+    }
+
+    ChurnReport {
+        scenario: cfg.scenario,
+        n: cfg.n,
+        events,
+        types,
+        mean_total_updates: total_updates_sum / events as f64,
+        mean_down_convergence_s: down_sum / events as f64,
+        mean_up_convergence_s: up_sum / events as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scenario: GrowthScenario, n: usize, events: usize, seed: u64) -> ChurnReport {
+        run_experiment(&ExperimentConfig {
+            scenario,
+            n,
+            events,
+            seed,
+            bgp: BgpConfig::default(),
+        })
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = quick(GrowthScenario::Baseline, 200, 3, 11);
+        let b = quick(GrowthScenario::Baseline, 200, 3, 11);
+        assert_eq!(a.mean_total_updates, b.mean_total_updates);
+        assert_eq!(a.by_type(NodeType::T).u_total, b.by_type(NodeType::T).u_total);
+    }
+
+    #[test]
+    fn every_type_hears_about_c_events() {
+        let r = quick(GrowthScenario::Baseline, 250, 4, 12);
+        for ty in [NodeType::T, NodeType::M, NodeType::Cp, NodeType::C] {
+            assert!(
+                r.by_type(ty).u_total >= 1.0,
+                "{ty}: {} updates",
+                r.by_type(ty).u_total
+            );
+        }
+        assert_eq!(r.events, 4);
+        assert!(r.mean_total_updates > 0.0);
+        assert!(r.mean_down_convergence_s > 0.0);
+    }
+
+    #[test]
+    fn tier1_hears_more_than_stubs() {
+        // The paper's Fig. 4 ordering: U(T) > U(C).
+        let r = quick(GrowthScenario::Baseline, 400, 5, 13);
+        assert!(
+            r.by_type(NodeType::T).u_total > r.by_type(NodeType::C).u_total,
+            "U(T)={} vs U(C)={}",
+            r.by_type(NodeType::T).u_total,
+            r.by_type(NodeType::C).u_total
+        );
+    }
+
+    #[test]
+    fn tree_scenario_pins_tier1_churn_at_two() {
+        // §5.2: in TREE, every T node receives exactly 2 updates per
+        // C-event (one DOWN, one UP).
+        let r = quick(GrowthScenario::Tree, 300, 5, 14);
+        let u = r.by_type(NodeType::T).u_total;
+        assert!(
+            (u - 2.0).abs() < 1e-9,
+            "TREE must give exactly 2 updates at T nodes, got {u}"
+        );
+    }
+
+    #[test]
+    fn m_factor_matches_topology_degrees() {
+        let r = quick(GrowthScenario::Baseline, 300, 2, 15);
+        // T nodes' peer count is nT − 1 exactly.
+        let m_peer = r.factor(NodeType::T, Relationship::Peer).m;
+        let n_t = r.by_type(NodeType::T).node_count;
+        assert!(
+            (m_peer - (n_t as f64 - 1.0)).abs() < 1e-9,
+            "mp,T = {m_peer}, nT = {n_t}"
+        );
+    }
+
+    #[test]
+    fn q_of_provider_class_is_near_one_for_m_nodes() {
+        // §4.2: "qd,M is almost constant, and always larger than 0.99" —
+        // providers almost always notify their customers.
+        let r = quick(GrowthScenario::Baseline, 400, 5, 16);
+        let q = r.factor(NodeType::M, Relationship::Provider).q;
+        assert!(q > 0.9, "qd,M = {q}");
+    }
+
+    #[test]
+    fn eq1_reconstructs_total_updates() {
+        let r = quick(GrowthScenario::Baseline, 300, 3, 17);
+        for ty in [NodeType::T, NodeType::M, NodeType::Cp, NodeType::C] {
+            let reconstructed: f64 = Relationship::ALL
+                .into_iter()
+                .map(|rel| r.u(ty, rel))
+                .sum();
+            let direct = r.by_type(ty).u_total;
+            assert!(
+                (reconstructed - direct).abs() < 1e-6,
+                "{ty}: Σ U_y = {reconstructed} vs U = {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncates_events_to_available_c_nodes() {
+        let r = quick(GrowthScenario::Baseline, 100, 10_000, 18);
+        assert!(r.events < 10_000);
+        assert_eq!(r.by_type(NodeType::C).per_event_u.len(), r.events);
+    }
+
+    #[test]
+    fn no_wrate_means_no_path_exploration_e_near_one() {
+        // §4: with NO-WRATE "the u factors stay close to the minimum 2
+        // updates" per event — i.e. e ≈ 2 per active neighbor over
+        // DOWN+UP (1 withdrawal + 1 announcement).
+        let r = quick(GrowthScenario::Baseline, 300, 4, 19);
+        let e = r.factor(NodeType::M, Relationship::Provider).e;
+        assert!(
+            (1.5..=3.5).contains(&e),
+            "ed,M = {e} should be near 2 under NO-WRATE"
+        );
+    }
+}

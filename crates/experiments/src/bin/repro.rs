@@ -1,0 +1,176 @@
+//! `repro` — regenerate the paper's tables and figures from scratch.
+//!
+//! ```text
+//! repro <target> [options]
+//!
+//! targets:
+//!   table1 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!   ext_levent     extension: link fail + recovery churn
+//!   ext_burstiness extension: per-second update-rate peaks
+//!   ext_rfd        extension: Route Flap Damping vs a flap storm
+//!   ext_convergence extension: convergence times per MRAI mode
+//!   ext_concurrency extension: per-interface vs per-prefix MRAI
+//!   ext_tablesize  extension: per-event churn vs resident table size
+//!   all            every target above, sharing one experiment cache
+//!
+//! options:
+//!   --tiny         seconds-scale smoke run (n ≤ 900, 5 events). NOTE:
+//!                  a handful of claims are scale-dependent (they need
+//!                  n ≥ 1000 to rise above sampling noise or, for
+//!                  STATIC-MIDDLE, to differ from BASELINE at all) and
+//!                  may legitimately FAIL at this size; --quick and
+//!                  --full are the validation modes.
+//!   --quick        default: n ≤ 5000, 25 events per cell (minutes)
+//!   --full         paper scale: n ≤ 10000, 100 events (hours)
+//!   --seed <u64>   master seed (default 0x20080612)
+//!   --events <k>   override events per cell
+//!   --sizes a,b,c  override the size sweep
+//!   --csv <dir>    additionally write every table as CSV into <dir>
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use bgpscale_experiments::figures;
+use bgpscale_experiments::{Figure, RunConfig, Sweeper};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all> \
+         [--tiny|--quick|--full] [--seed N] [--events K] [--sizes a,b,c] [--csv DIR]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    target: String,
+    cfg: RunConfig,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let target = args.next().unwrap_or_else(|| usage());
+    let mut cfg = RunConfig::quick();
+    let mut csv_dir = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tiny" => cfg = RunConfig::tiny().with_seed(cfg.seed),
+            "--quick" => cfg = RunConfig::quick().with_seed(cfg.seed),
+            "--full" => cfg = RunConfig::full().with_seed(cfg.seed),
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--events" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.events = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--sizes" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.sizes = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if cfg.sizes.is_empty() {
+                    usage();
+                }
+            }
+            "--csv" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            _ => usage(),
+        }
+    }
+    Options {
+        target,
+        cfg,
+        csv_dir,
+    }
+}
+
+fn run_target(target: &str, sw: &mut Sweeper) -> Option<Figure> {
+    let seed = sw.config().seed;
+    let cfg = sw.config().clone();
+    Some(match target {
+        "table1" => figures::table1::run(&cfg),
+        "fig1" => figures::fig1::run(seed),
+        "fig3" => figures::fig3::run(seed),
+        "fig4" => figures::fig4::run(sw),
+        "fig5" => figures::fig5::run(sw),
+        "fig6" => figures::fig6::run(sw),
+        "fig7" => figures::fig7::run(sw),
+        "fig8" => figures::fig8::run(sw),
+        "fig9" => figures::fig9::run(sw),
+        "fig10" => figures::fig10::run(sw),
+        "fig11" => figures::fig11::run(sw),
+        "fig12" => figures::fig12::run(sw),
+        "ext_levent" => figures::ext_levent::run(sw),
+        "ext_burstiness" => figures::ext_burstiness::run(sw),
+        "ext_rfd" => figures::ext_rfd::run(sw),
+        "ext_convergence" => figures::ext_convergence::run(sw),
+        "ext_concurrency" => figures::ext_concurrency::run(sw),
+        "ext_tablesize" => figures::ext_tablesize::run(sw),
+        _ => return None,
+    })
+}
+
+const ALL_TARGETS: [&str; 18] = [
+    "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "ext_levent", "ext_burstiness", "ext_rfd", "ext_convergence", "ext_concurrency",
+    "ext_tablesize",
+];
+
+fn write_csv(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, table) in fig.tables.iter().enumerate() {
+        let path = dir.join(format!("{}_{}.csv", fig.id, i));
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(table.to_csv().as_bytes())?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_args();
+    let started = Instant::now();
+    let mut sw = Sweeper::new(opts.cfg.clone());
+    sw.on_progress(move |scenario, n, mode| {
+        eprintln!(
+            "[{:7.1}s] running {scenario} n={n} {} …",
+            started.elapsed().as_secs_f64(),
+            mode.label()
+        );
+    });
+
+    let targets: Vec<&str> = if opts.target == "all" {
+        ALL_TARGETS.to_vec()
+    } else {
+        vec![opts.target.as_str()]
+    };
+
+    let mut failed_claims = 0usize;
+    for t in &targets {
+        let Some(fig) = run_target(t, &mut sw) else {
+            eprintln!("unknown target: {t}");
+            usage();
+        };
+        println!("{}", fig.render());
+        failed_claims += fig.claims.iter().filter(|c| !c.holds).count();
+        if let Some(dir) = &opts.csv_dir {
+            if let Err(e) = write_csv(dir, &fig) {
+                eprintln!("warning: CSV export failed: {e}");
+            }
+        }
+    }
+    eprintln!(
+        "done in {:.1}s ({} experiment cells, {} failed claims)",
+        started.elapsed().as_secs_f64(),
+        sw.cached_cells(),
+        failed_claims
+    );
+    if failed_claims > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,194 @@
+//! A synthetic RIPE-style churn monitor (the Fig. 1 substitution).
+//!
+//! Fig. 1 of the paper plots the daily number of BGP updates received from
+//! a RIPE RIS monitor in France Telecom's backbone over 2005–2007 (~1000
+//! days), showing roughly 200% total growth under extreme day-to-day
+//! variability, with the trend estimated by the Mann–Kendall test.
+//!
+//! The RIS archive is not available offline, so this module generates a
+//! statistically similar series: a linear growth trend, multiplicative
+//! lognormal day-to-day noise, and occasional heavy-tailed (Pareto) burst
+//! days — the paper notes peak rates can reach ~1000× the average. The
+//! *analysis pipeline* (Mann–Kendall + Sen's slope on a bursty counting
+//! series) is identical to the paper's; only the input bytes are
+//! synthetic.
+
+use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
+use bgpscale_stats::mann_kendall::{mann_kendall, sens_slope, MannKendall};
+
+/// Parameters of the synthetic monitor series.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChurnTraceConfig {
+    /// Number of days (the paper's window is ~1000, 2005-01-01 onward).
+    pub days: usize,
+    /// Mean daily update count at day 0.
+    pub base_daily: f64,
+    /// Total fractional growth over the window (2.0 = +200%, the paper's
+    /// three-year estimate).
+    pub total_growth: f64,
+    /// σ of the multiplicative lognormal day-to-day noise.
+    pub noise_sigma: f64,
+    /// Probability that a day is a burst day (session resets, leaks, …).
+    pub burst_prob: f64,
+    /// Pareto tail exponent of burst magnitudes (smaller = wilder).
+    pub burst_alpha: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnTraceConfig {
+    fn default() -> Self {
+        ChurnTraceConfig {
+            days: 1_000,
+            base_daily: 150_000.0,
+            total_growth: 2.0,
+            noise_sigma: 0.45,
+            burst_prob: 0.02,
+            burst_alpha: 1.6,
+            seed: 0x2005_0101,
+        }
+    }
+}
+
+/// Generates the daily update-count series.
+pub fn generate_trace(cfg: &ChurnTraceConfig) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::new(cfg.seed);
+    (0..cfg.days)
+        .map(|day| {
+            let trend =
+                cfg.base_daily * (1.0 + cfg.total_growth * day as f64 / cfg.days.max(1) as f64);
+            let noise = (rng.next_gaussian() * cfg.noise_sigma).exp();
+            let burst = if rng.chance(cfg.burst_prob) {
+                // Pareto(α) with minimum 2×: heavy-tailed burst multiplier.
+                let u = rng.next_f64();
+                2.0 * (1.0 - u).powf(-1.0 / cfg.burst_alpha)
+            } else {
+                1.0
+            };
+            (trend * noise * burst).round()
+        })
+        .collect()
+}
+
+/// Trend analysis of a daily series (the paper's Fig. 1 method).
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    /// The Mann–Kendall test result.
+    pub mk: MannKendall,
+    /// Sen's slope, in updates per day.
+    pub sen_slope_per_day: f64,
+    /// Estimated total growth over the window: slope × days relative to
+    /// the estimated starting level.
+    pub total_growth_estimate: f64,
+    /// Peak-to-mean ratio (burstiness indicator).
+    pub peak_to_mean: f64,
+}
+
+/// Runs the Fig. 1 analysis on a daily series.
+///
+/// # Panics
+/// Panics on series shorter than 3 days.
+pub fn analyze_trace(series: &[f64]) -> TraceAnalysis {
+    let mk = mann_kendall(series);
+    let slope = sens_slope(series);
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let peak = series.iter().copied().fold(0.0f64, f64::max);
+    // Median-based starting level: robust to burst days in the first
+    // window.
+    let head = &series[..series.len().min(60)];
+    let mut sorted = head.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let start_level = sorted[sorted.len() / 2];
+    TraceAnalysis {
+        mk,
+        sen_slope_per_day: slope,
+        total_growth_estimate: slope * series.len() as f64 / start_level,
+        peak_to_mean: peak / mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscale_stats::mann_kendall::Trend;
+
+    #[test]
+    fn default_trace_has_increasing_trend() {
+        let trace = generate_trace(&ChurnTraceConfig::default());
+        assert_eq!(trace.len(), 1_000);
+        let a = analyze_trace(&trace);
+        assert_eq!(a.mk.trend(0.05), Trend::Increasing);
+        assert!(a.sen_slope_per_day > 0.0);
+    }
+
+    #[test]
+    fn growth_estimate_tracks_configuration() {
+        // Lower noise so the estimate is tight.
+        let cfg = ChurnTraceConfig {
+            noise_sigma: 0.1,
+            burst_prob: 0.0,
+            ..ChurnTraceConfig::default()
+        };
+        let trace = generate_trace(&cfg);
+        let a = analyze_trace(&trace);
+        assert!(
+            (a.total_growth_estimate - cfg.total_growth).abs() < 0.5,
+            "estimated {} vs configured {}",
+            a.total_growth_estimate,
+            cfg.total_growth
+        );
+    }
+
+    #[test]
+    fn bursts_inflate_peak_to_mean() {
+        let calm = ChurnTraceConfig {
+            burst_prob: 0.0,
+            noise_sigma: 0.1,
+            ..ChurnTraceConfig::default()
+        };
+        let wild = ChurnTraceConfig {
+            burst_prob: 0.05,
+            burst_alpha: 1.2,
+            ..ChurnTraceConfig::default()
+        };
+        let a_calm = analyze_trace(&generate_trace(&calm));
+        let a_wild = analyze_trace(&generate_trace(&wild));
+        assert!(
+            a_wild.peak_to_mean > 2.0 * a_calm.peak_to_mean,
+            "wild {} vs calm {}",
+            a_wild.peak_to_mean,
+            a_calm.peak_to_mean
+        );
+    }
+
+    #[test]
+    fn flat_configuration_has_no_trend() {
+        let cfg = ChurnTraceConfig {
+            total_growth: 0.0,
+            burst_prob: 0.0,
+            ..ChurnTraceConfig::default()
+        };
+        let a = analyze_trace(&generate_trace(&cfg));
+        assert_eq!(a.mk.trend(0.01), Trend::None, "p = {}", a.mk.p_value);
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = ChurnTraceConfig::default();
+        assert_eq!(generate_trace(&cfg), generate_trace(&cfg));
+        let other = ChurnTraceConfig {
+            seed: 1,
+            ..ChurnTraceConfig::default()
+        };
+        assert_ne!(generate_trace(&cfg), generate_trace(&other));
+    }
+
+    #[test]
+    fn counts_are_nonnegative_integers() {
+        let trace = generate_trace(&ChurnTraceConfig::default());
+        for &x in &trace {
+            assert!(x >= 0.0 && x.fract() == 0.0);
+        }
+    }
+}

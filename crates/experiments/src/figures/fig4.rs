@@ -1,0 +1,76 @@
+//! Fig. 4 — `U(X)` per C-event vs n, for every node type (Baseline,
+//! NO-WRATE).
+//!
+//! The headline result: tier-1 nodes see both the highest churn and the
+//! strongest growth; stubs see the least. Confidence intervals over the
+//! event sample are printed (the paper notes they are "too narrow to be
+//! shown").
+
+use bgpscale_stats::descriptive::confidence_interval_95;
+use bgpscale_topology::NodeType;
+
+use crate::figures::{series_u, trends_upward};
+use crate::report::{f2, Figure, Table};
+use crate::sweep::Sweeper;
+use bgpscale_topology::GrowthScenario;
+
+/// Regenerates Fig. 4.
+pub fn run(sw: &mut Sweeper) -> Figure {
+    let reports = sw.sweep(GrowthScenario::Baseline);
+    let mut fig = Figure::new("fig4", "Updates received per C-event at T, M, CP and C nodes");
+
+    let mut t = Table::new(
+        "U(X): mean updates per node per C-event (±95% CI over events)",
+        &["n", "U(T)", "U(M)", "U(CP)", "U(C)"],
+    );
+    for r in &reports {
+        let cell = |ty: NodeType| {
+            let tc = r.by_type(ty);
+            format!("{} ±{}", f2(tc.u_total), f2(confidence_interval_95(&tc.per_event_u)))
+        };
+        t.push_row(vec![
+            r.n.to_string(),
+            cell(NodeType::T),
+            cell(NodeType::M),
+            cell(NodeType::Cp),
+            cell(NodeType::C),
+        ]);
+    }
+    fig.tables.push(t);
+
+    let u_t = series_u(&reports, NodeType::T);
+    let u_m = series_u(&reports, NodeType::M);
+    let u_cp = series_u(&reports, NodeType::Cp);
+    let u_c = series_u(&reports, NodeType::C);
+    let last = reports.len() - 1;
+
+    fig.claim("U(T) grows with network size", trends_upward(&u_t));
+    fig.claim("U(M) grows with network size", trends_upward(&u_m));
+    fig.claim(
+        "ordering at the largest size: U(T) > U(M) > U(C)",
+        u_t[last] > u_m[last] && u_m[last] > u_c[last],
+    );
+    fig.claim(
+        "transit and content providers see more churn than customer stubs",
+        u_m[last] > u_c[last] && u_cp[last] > u_c[last],
+    );
+    fig.claim(
+        "T nodes show the strongest growth (relative increase)",
+        u_t[last] / u_t[0] >= u_m[last] / u_m[0] && u_t[last] / u_t[0] >= u_c[last] / u_c[0],
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunConfig;
+
+    #[test]
+    fn fig4_claims_hold_on_tiny_sweep() {
+        let mut sw = Sweeper::new(RunConfig::tiny());
+        let f = run(&mut sw);
+        assert!(f.all_claims_hold(), "{}", f.render());
+        assert_eq!(f.tables[0].rows.len(), RunConfig::tiny().sizes.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 5 — where the updates come from: `Uc(T)`, `Up(T)` (top panel) and
+//! `Ud(M)`, `Up(M)`, `Uc(M)` (bottom panel), Baseline.
+//!
+//! Key observations reproduced: both customer and peer updates matter at
+//! T nodes, with the customer component eventually dominating; M nodes
+//! receive the large majority of their updates from their providers,
+//! justifying the paper's simplification `U(M) ≈ Ud(M)`.
+
+use bgpscale_topology::{GrowthScenario, NodeType, Relationship};
+
+use crate::figures::{series_factor, series_u, trends_upward, Which};
+use crate::report::{f2, Figure, Table};
+use crate::sweep::Sweeper;
+
+/// Regenerates Fig. 5.
+pub fn run(sw: &mut Sweeper) -> Figure {
+    let reports = sw.sweep(GrowthScenario::Baseline);
+    let mut fig = Figure::new(
+        "fig5",
+        "Churn components: updates from customers/peers at T, from providers/peers/customers at M",
+    );
+
+    let uc_t = series_factor(&reports, NodeType::T, Relationship::Customer, Which::U);
+    let up_t = series_factor(&reports, NodeType::T, Relationship::Peer, Which::U);
+    let ud_m = series_factor(&reports, NodeType::M, Relationship::Provider, Which::U);
+    let up_m = series_factor(&reports, NodeType::M, Relationship::Peer, Which::U);
+    let uc_m = series_factor(&reports, NodeType::M, Relationship::Customer, Which::U);
+    let u_m = series_u(&reports, NodeType::M);
+
+    let mut top = Table::new("T nodes (top panel)", &["n", "Uc(T)", "Up(T)"]);
+    let mut bottom = Table::new(
+        "M nodes (bottom panel)",
+        &["n", "Ud(M)", "Up(M)", "Uc(M)", "Ud(M)/U(M)"],
+    );
+    for (i, r) in reports.iter().enumerate() {
+        top.push_row(vec![r.n.to_string(), f2(uc_t[i]), f2(up_t[i])]);
+        bottom.push_row(vec![
+            r.n.to_string(),
+            f2(ud_m[i]),
+            f2(up_m[i]),
+            f2(uc_m[i]),
+            f2(ud_m[i] / u_m[i].max(1e-12)),
+        ]);
+    }
+    fig.tables.push(top);
+    fig.tables.push(bottom);
+
+    let last = reports.len() - 1;
+    fig.claim("Uc(T) increases with network size", trends_upward(&uc_t));
+    fig.claim("Up(T) increases with network size", trends_upward(&up_t));
+    fig.claim(
+        "Uc(T) grows faster than Up(T) (it dominates at scale)",
+        uc_t[last] / uc_t[0].max(1e-12) > up_t[last] / up_t[0].max(1e-12),
+    );
+    fig.claim(
+        "M nodes receive the large majority of updates from providers (Ud(M)/U(M) > 0.6)",
+        ud_m[last] / u_m[last].max(1e-12) > 0.6,
+    );
+    fig.claim(
+        "provider updates dominate peer and customer updates at M nodes",
+        ud_m[last] > up_m[last] && ud_m[last] > uc_m[last],
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunConfig;
+
+    #[test]
+    fn fig5_claims_hold_on_tiny_sweep() {
+        let mut sw = Sweeper::new(RunConfig::tiny());
+        let f = run(&mut sw);
+        assert!(f.all_claims_hold(), "{}", f.render());
+    }
+}

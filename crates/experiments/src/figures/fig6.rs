@@ -1,0 +1,93 @@
+//! Fig. 6 — relative increase of `Uc(T)`, `Up(T)` and `Ud(M)`, with the
+//! paper's regression analysis.
+//!
+//! §4.2 reports: `Uc(T)` grows quadratically (R² = 0.92) and dominates;
+//! `Up(T)` grows approximately linearly (R² = 0.95); `Ud(M)`'s growth is
+//! dominated by the linear growth of the multihoming degree.
+
+use bgpscale_stats::regression::{fit_linear, fit_quadratic};
+use bgpscale_topology::{GrowthScenario, NodeType, Relationship};
+
+use crate::figures::{series_factor, sizes_f64, Which};
+use crate::report::{f2, f4, relative_increase, Figure, Table};
+use crate::sweep::Sweeper;
+
+/// Regenerates Fig. 6.
+pub fn run(sw: &mut Sweeper) -> Figure {
+    let reports = sw.sweep(GrowthScenario::Baseline);
+    let mut fig = Figure::new("fig6", "Relative increase of Uc(T), Up(T) and Ud(M)");
+
+    let xs = sizes_f64(&reports);
+    let uc_t = series_factor(&reports, NodeType::T, Relationship::Customer, Which::U);
+    let up_t = series_factor(&reports, NodeType::T, Relationship::Peer, Which::U);
+    let ud_m = series_factor(&reports, NodeType::M, Relationship::Provider, Which::U);
+    let rel_uc = relative_increase(&uc_t);
+    let rel_up = relative_increase(&up_t);
+    let rel_ud = relative_increase(&ud_m);
+
+    let mut t = Table::new(
+        "relative increase (normalized to the smallest size)",
+        &["n", "Uc(T)", "Up(T)", "Ud(M)"],
+    );
+    for (i, r) in reports.iter().enumerate() {
+        t.push_row(vec![
+            r.n.to_string(),
+            f2(rel_uc[i]),
+            f2(rel_up[i]),
+            f2(rel_ud[i]),
+        ]);
+    }
+    fig.tables.push(t);
+
+    // Regression analysis on the absolute series, as in the paper.
+    let quad_uc = fit_quadratic(&xs, &uc_t);
+    let lin_uc = fit_linear(&xs, &uc_t);
+    let lin_up = fit_linear(&xs, &up_t);
+    let lin_ud = fit_linear(&xs, &ud_m);
+    let mut reg = Table::new(
+        "regression fits",
+        &["series", "model", "R²"],
+    );
+    reg.push_row(vec!["Uc(T)".into(), "quadratic".into(), f4(quad_uc.r_squared)]);
+    reg.push_row(vec!["Uc(T)".into(), "linear".into(), f4(lin_uc.r_squared)]);
+    reg.push_row(vec!["Up(T)".into(), "linear".into(), f4(lin_up.r_squared)]);
+    reg.push_row(vec!["Ud(M)".into(), "linear".into(), f4(lin_ud.r_squared)]);
+    fig.tables.push(reg);
+
+    let last = reports.len() - 1;
+    fig.claim(
+        "Uc(T) shows the strongest relative increase of the three",
+        rel_uc[last] > rel_up[last] && rel_uc[last] > rel_ud[last],
+    );
+    fig.claim(
+        "quadratic model fits Uc(T) well (paper: R² = 0.92)",
+        quad_uc.r_squared > 0.85,
+    );
+    fig.claim(
+        "linear model fits Up(T) well (paper: R² = 0.95)",
+        lin_up.r_squared > 0.85,
+    );
+    fig.claim(
+        "Uc(T) growth is superlinear (quadratic fit beats linear)",
+        quad_uc.r_squared >= lin_uc.r_squared,
+    );
+    fig.claim(
+        "Ud(M) grows modestly (paper: factor ~2.6 over the full sweep)",
+        rel_ud[last] > 1.0 && rel_ud[last] < rel_uc[last],
+    );
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunConfig;
+
+    #[test]
+    fn fig6_claims_hold_on_tiny_sweep() {
+        let mut sw = Sweeper::new(RunConfig::tiny());
+        let f = run(&mut sw);
+        assert!(f.all_claims_hold(), "{}", f.render());
+        assert_eq!(f.tables.len(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Size sweeps with memoization.
+//!
+//! Most figures share experiment cells (the Baseline NO-WRATE sweep feeds
+//! Figs. 4–7; Fig. 12 reuses it as a denominator), so the [`Sweeper`]
+//! caches every `(scenario, n, MRAI mode)` report it computes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bgpscale_bgp::{BgpConfig, MraiMode};
+use bgpscale_core::{run_experiment, ChurnReport, ExperimentConfig};
+use bgpscale_topology::GrowthScenario;
+
+/// Sweep-wide settings: the sizes to visit and the per-cell event count.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Network sizes (the paper uses 1000..10000).
+    pub sizes: Vec<usize>,
+    /// C-event originators per cell (the paper uses 100).
+    pub events: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The paper-scale configuration: n ∈ {1000, …, 10000}, 100 events.
+    /// Hours of CPU; use [`RunConfig::quick`] for day-to-day runs.
+    pub fn full() -> RunConfig {
+        RunConfig {
+            sizes: (1..=10).map(|k| k * 1_000).collect(),
+            events: 100,
+            seed: 0x2008_0612,
+        }
+    }
+
+    /// A time-boxed configuration preserving every qualitative shape:
+    /// five sizes up to 5000, 25 events per cell.
+    pub fn quick() -> RunConfig {
+        RunConfig {
+            sizes: vec![1_000, 2_000, 3_000, 4_000, 5_000],
+            events: 25,
+            seed: 0x2008_0612,
+        }
+    }
+
+    /// A seconds-scale configuration for tests and smoke runs.
+    pub fn tiny() -> RunConfig {
+        RunConfig {
+            sizes: vec![300, 600, 900],
+            events: 5,
+            seed: 0x2008_0612,
+        }
+    }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> RunConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Progress-observer callback type (invoked per uncached experiment cell).
+type ProgressFn = Box<dyn Fn(GrowthScenario, usize, MraiMode) + Send>;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CellKey {
+    scenario: GrowthScenario,
+    n: usize,
+    mode: MraiMode,
+}
+
+/// Memoizing experiment runner shared by all figure drivers.
+pub struct Sweeper {
+    cfg: RunConfig,
+    cache: HashMap<CellKey, Arc<ChurnReport>>,
+    /// Observer called before each uncached cell runs (progress logging).
+    progress: Option<ProgressFn>,
+}
+
+impl Sweeper {
+    /// Creates a sweeper over `cfg`.
+    pub fn new(cfg: RunConfig) -> Sweeper {
+        Sweeper {
+            cfg,
+            cache: HashMap::new(),
+            progress: None,
+        }
+    }
+
+    /// Installs a progress callback (invoked once per uncached cell).
+    pub fn on_progress(
+        &mut self,
+        f: impl Fn(GrowthScenario, usize, MraiMode) + Send + 'static,
+    ) {
+        self.progress = Some(Box::new(f));
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// The sizes of this sweep.
+    pub fn sizes(&self) -> &[usize] {
+        &self.cfg.sizes
+    }
+
+    /// Returns (computing and caching on first use) the churn report for
+    /// one cell.
+    pub fn report(
+        &mut self,
+        scenario: GrowthScenario,
+        n: usize,
+        mode: MraiMode,
+    ) -> Arc<ChurnReport> {
+        let key = CellKey { scenario, n, mode };
+        if let Some(hit) = self.cache.get(&key) {
+            return Arc::clone(hit);
+        }
+        if let Some(cb) = &self.progress {
+            cb(scenario, n, mode);
+        }
+        let bgp = match mode {
+            MraiMode::NoWrate => BgpConfig::no_wrate(),
+            MraiMode::Wrate => BgpConfig::wrate(),
+        };
+        let report = Arc::new(run_experiment(&ExperimentConfig {
+            scenario,
+            n,
+            events: self.cfg.events,
+            seed: self.cfg.seed,
+            bgp,
+        }));
+        self.cache.insert(key, Arc::clone(&report));
+        report
+    }
+
+    /// Runs the whole size sweep for one scenario (NO-WRATE).
+    pub fn sweep(&mut self, scenario: GrowthScenario) -> Vec<Arc<ChurnReport>> {
+        self.sweep_mode(scenario, MraiMode::NoWrate)
+    }
+
+    /// Runs the whole size sweep for one scenario and MRAI mode.
+    pub fn sweep_mode(
+        &mut self,
+        scenario: GrowthScenario,
+        mode: MraiMode,
+    ) -> Vec<Arc<ChurnReport>> {
+        self.cfg
+            .sizes
+            .clone()
+            .into_iter()
+            .map(|n| self.report(scenario, n, mode))
+            .collect()
+    }
+
+    /// Number of cached cells (for tests).
+    pub fn cached_cells(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscale_topology::NodeType;
+
+    #[test]
+    fn sweep_returns_one_report_per_size() {
+        let mut s = Sweeper::new(RunConfig {
+            sizes: vec![200, 300],
+            events: 2,
+            seed: 1,
+        });
+        let reports = s.sweep(GrowthScenario::Baseline);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].n, 200);
+        assert_eq!(reports[1].n, 300);
+    }
+
+    #[test]
+    fn cache_prevents_recomputation() {
+        let mut s = Sweeper::new(RunConfig {
+            sizes: vec![200],
+            events: 2,
+            seed: 1,
+        });
+        let a = s.report(GrowthScenario::Baseline, 200, MraiMode::NoWrate);
+        assert_eq!(s.cached_cells(), 1);
+        let b = s.report(GrowthScenario::Baseline, 200, MraiMode::NoWrate);
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(s.cached_cells(), 1);
+        // A different mode is a different cell.
+        let _c = s.report(GrowthScenario::Baseline, 200, MraiMode::Wrate);
+        assert_eq!(s.cached_cells(), 2);
+    }
+
+    #[test]
+    fn progress_callback_fires_per_uncached_cell() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+        let count = StdArc::new(AtomicUsize::new(0));
+        let c2 = StdArc::clone(&count);
+        let mut s = Sweeper::new(RunConfig {
+            sizes: vec![200],
+            events: 1,
+            seed: 2,
+        });
+        s.on_progress(move |_, _, _| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        s.report(GrowthScenario::Baseline, 200, MraiMode::NoWrate);
+        s.report(GrowthScenario::Baseline, 200, MraiMode::NoWrate);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn run_configs_are_sane() {
+        let full = RunConfig::full();
+        assert_eq!(full.sizes.len(), 10);
+        assert_eq!(*full.sizes.last().unwrap(), 10_000);
+        assert_eq!(full.events, 100);
+        let quick = RunConfig::quick();
+        assert!(quick.sizes.len() >= 3, "quick needs enough points for trends");
+        let tiny = RunConfig::tiny().with_seed(9);
+        assert_eq!(tiny.seed, 9);
+    }
+
+    #[test]
+    fn reports_expose_paper_quantities() {
+        let mut s = Sweeper::new(RunConfig {
+            sizes: vec![250],
+            events: 3,
+            seed: 3,
+        });
+        let r = s.report(GrowthScenario::Baseline, 250, MraiMode::NoWrate);
+        assert!(r.by_type(NodeType::T).u_total > 0.0);
+    }
+}

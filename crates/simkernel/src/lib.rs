@@ -1,0 +1,40 @@
+//! # bgpscale-simkernel
+//!
+//! A small, fully deterministic discrete-event simulation (DES) kernel.
+//!
+//! This crate is the lowest substrate of the `bgpscale` workspace: the
+//! event-driven BGP simulator from the CoNEXT 2008 paper *"On the scalability
+//! of BGP: the roles of topology growth and update rate-limiting"* runs on
+//! top of it. The kernel deliberately knows nothing about BGP — it provides
+//! exactly three things:
+//!
+//! * **Simulated time** ([`SimTime`], [`SimDuration`]) with microsecond
+//!   resolution. Wall-clock time never enters a simulation.
+//! * **A deterministic event queue** ([`EventQueue`]) — a binary heap keyed
+//!   by `(time, sequence number)` so that events scheduled for the same
+//!   instant are delivered in scheduling order, making every run a pure
+//!   function of its inputs.
+//! * **Seeded PRNG streams** ([`rng::SplitMix64`], [`rng::Xoshiro256StarStar`])
+//!   implemented locally so that results are bit-for-bit reproducible
+//!   independent of external crate version churn.
+//!
+//! ## Example
+//!
+//! ```
+//! use bgpscale_simkernel::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(30), "mrai expiry");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(10), "delivery");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "delivery");
+//! assert_eq!(t, SimTime::from_micros(10_000));
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,265 @@
+//! A deterministic discrete-event queue.
+//!
+//! A thin wrapper around [`std::collections::BinaryHeap`] with two
+//! guarantees the simulator depends on:
+//!
+//! 1. **Monotonic delivery** — events pop in non-decreasing time order, and
+//!    scheduling an event in the past (before the last popped time) is a
+//!    panic: it would mean the model violated causality.
+//! 2. **Deterministic tie-breaking** — events scheduled for the same instant
+//!    pop in the order they were scheduled (FIFO), via a monotonically
+//!    increasing sequence number. Binary heaps are otherwise unstable, which
+//!    would make runs irreproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// One scheduled entry: ordered by `(time, seq)`.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A future-event list keyed by simulated time.
+///
+/// `E` is the caller's event payload; the queue is agnostic to it.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    /// Time of the most recently popped event; new events may not be
+    /// scheduled before it.
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress metric and
+    /// runaway-simulation guard).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the current clock — the model would
+    /// be violating causality.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: {time:?} < now {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    /// Returns `None` when the simulation has quiesced.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "heap returned a past event");
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes all pending events and resets the clock and counters.
+    /// (Sequence numbering is *not* reset mid-run; a fresh queue should be
+    /// used for a fresh run — this is for reusing allocations.)
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.now = SimTime::ZERO;
+        self.popped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i, "FIFO order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(4), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 1);
+        q.pop();
+        q.schedule(SimTime::from_secs(5), 2); // same instant: fine
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(2), ());
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.popped(), 0);
+        q.schedule(SimTime::from_micros(1), ()); // past-check reset too
+    }
+
+    #[test]
+    fn popped_counts_events() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.popped(), 10);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // Model a chain: each popped event schedules the next one later.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32);
+        let mut seen = Vec::new();
+        while let Some((t, hop)) = q.pop() {
+            seen.push(hop);
+            if hop < 5 {
+                q.schedule(t + SimDuration::from_millis(10), hop + 1);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(q.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn large_volume_stays_sorted() {
+        use crate::rng::{Rng, Xoshiro256StarStar};
+        let mut g = Xoshiro256StarStar::new(1);
+        let mut q = EventQueue::with_capacity(10_000);
+        for _ in 0..10_000 {
+            q.schedule(SimTime::from_micros(g.next_below(1_000_000)), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

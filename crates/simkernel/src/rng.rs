@@ -1,0 +1,435 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator's results must be a pure function of `(inputs, seed)`; to
+//! guarantee that across toolchain and dependency upgrades we implement the
+//! generators locally instead of depending on an external crate whose value
+//! stability policy has changed between releases.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixing generator. Used to
+//!   fan a single master seed out into independent sub-seeds (one per
+//!   concern: topology construction, service times, MRAI jitter, …) and as a
+//!   stateless integer hash ([`hash64`]) for deterministic tie-breaking.
+//! * [`Xoshiro256StarStar`] — Blackman & Vigna's general-purpose generator;
+//!   the workhorse for all stochastic draws. Seeded from SplitMix64 output
+//!   exactly as its authors recommend.
+//!
+//! Both implementations are validated against published reference vectors in
+//! the test module.
+
+/// Stateless SplitMix64 mixing function: maps any 64-bit value to a
+/// well-mixed 64-bit value. This is the finalizer used inside
+/// [`SplitMix64::next_u64`]; exposed separately because the BGP decision
+/// process uses it as the "hashed value of the node IDs" tie-breaker.
+#[inline]
+pub fn hash64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines two 64-bit values into one well-mixed value.
+///
+/// Used to derive per-entity sub-seeds, e.g. `hash64_pair(run_seed, node_id)`.
+#[inline]
+pub fn hash64_pair(a: u64, b: u64) -> u64 {
+    // Mix `a` first so that (a, b) and (b, a) produce different values.
+    hash64(hash64(a) ^ b.rotate_left(32) ^ 0xA076_1D64_78BD_642F)
+}
+
+/// The SplitMix64 sequential generator.
+///
+/// Primarily used for seed derivation; each call advances an internal
+/// counter and mixes it.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. All seeds, including zero, are valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Common interface for the crate's generators, plus derived draws
+/// (floats, bounded integers, Bernoulli trials, distribution samplers).
+pub trait Rng {
+    /// Returns the next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits — the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift method
+    /// with rejection to remove modulo bias.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a positive bound");
+        // Lemire 2019: unbiased bounded generation.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    fn next_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or not finite.
+    fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli trial: returns `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Rounds a non-negative real `x` to an integer stochastically:
+    /// `floor(x)` or `ceil(x)` with probability proportional to the
+    /// fractional part, so the expectation is exactly `x`.
+    ///
+    /// The topology generator uses this to realize fractional mean degrees
+    /// (e.g. a mean multihoming degree of 2.25) without bias.
+    fn round_stochastic(&mut self, x: f64) -> u64 {
+        assert!(x >= 0.0 && x.is_finite(), "round_stochastic requires finite x >= 0");
+        let floor = x.floor();
+        let frac = x - floor;
+        floor as u64 + u64::from(self.chance(frac))
+    }
+
+    /// Standard normal draw via the Box–Muller transform (one value per
+    /// call; the antithetic value is discarded for simplicity).
+    fn next_gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by drawing u1 from (0, 1].
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Chooses one index in `[0, weights.len())` with probability
+    /// proportional to `weights[i]`. Used for preferential attachment.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or the total weight is not positive.
+    fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0 && total.is_finite(),
+            "choose_weighted requires positive finite total weight"
+        );
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // floating-point slack: fall back to the last index
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// The xoshiro256** 1.0 generator (Blackman & Vigna, 2018).
+///
+/// Fast, 256-bit state, passes BigCrush; the recommended general-purpose
+/// choice from the xoshiro family.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator, expanding the seed through SplitMix64 as the
+    /// algorithm's authors specify (this also makes an all-zero state
+    /// unreachable).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Creates a generator from a raw 256-bit state.
+    ///
+    /// # Panics
+    /// Panics if the state is all zeros (the one invalid state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must be non-zero");
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the SplitMix64 reference implementation
+    /// (seed = 1234567).
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        let mut g = SplitMix64::new(1234567);
+        let expected: [u64; 5] = [
+            6457827717110365317,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for &e in &expected {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    /// Reference vector for xoshiro256** with state expanded from
+    /// SplitMix64(0), cross-checked against the rand_xoshiro crate's
+    /// documented behavior of seeding via SplitMix64.
+    #[test]
+    fn xoshiro_starts_from_splitmix_expansion() {
+        let mut sm = SplitMix64::new(0);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        let mut a = Xoshiro256StarStar::new(0);
+        let b = Xoshiro256StarStar::from_state(s);
+        // Same construction path => same stream.
+        let mut b = b;
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Reference vector from the xoshiro256** reference implementation with
+    /// state {1, 2, 3, 4}.
+    #[test]
+    fn xoshiro_matches_reference_vector() {
+        let mut g = Xoshiro256StarStar::from_state([1, 2, 3, 4]);
+        let expected: [u64; 6] = [
+            11520,
+            0,
+            1509978240,
+            1215971899390074240,
+            1216172134540287360,
+            607988272756665600,
+        ];
+        for &e in &expected {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn xoshiro_rejects_zero_state() {
+        let _ = Xoshiro256StarStar::from_state([0; 4]);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut g = Xoshiro256StarStar::new(42);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_near_half() {
+        let mut g = Xoshiro256StarStar::new(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn next_below_is_unbiased_across_small_bound() {
+        let mut g = Xoshiro256StarStar::new(99);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[g.next_below(7) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = n as f64 / 7.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.05,
+                "bucket {i} count {c} deviates from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn next_below_rejects_zero() {
+        let _ = Xoshiro256StarStar::new(1).next_below(0);
+    }
+
+    #[test]
+    fn next_range_inclusive_covers_endpoints() {
+        let mut g = Xoshiro256StarStar::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[(g.next_range_inclusive(10, 13) - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "endpoints or interior never drawn");
+    }
+
+    #[test]
+    fn chance_handles_edge_probabilities() {
+        let mut g = Xoshiro256StarStar::new(5);
+        assert!(!g.chance(0.0));
+        assert!(g.chance(1.0));
+        assert!(!g.chance(-1.0));
+        assert!(g.chance(2.0));
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut g = Xoshiro256StarStar::new(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| g.chance(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "empirical {p} too far from 0.3");
+    }
+
+    #[test]
+    fn round_stochastic_has_exact_expectation() {
+        let mut g = Xoshiro256StarStar::new(21);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| g.round_stochastic(2.25) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.25).abs() < 0.01, "mean {mean} != 2.25");
+        // Integers round exactly.
+        assert_eq!(g.round_stochastic(3.0), 3);
+        assert_eq!(g.round_stochastic(0.0), 0);
+    }
+
+    #[test]
+    fn gaussian_has_unit_moments() {
+        let mut g = Xoshiro256StarStar::new(13);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "gaussian mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "gaussian variance {var}");
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut g = Xoshiro256StarStar::new(17);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[g.choose_weighted(&weights)] += 1;
+        }
+        let p1 = counts[1] as f64 / n as f64;
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p1 - 0.3).abs() < 0.01, "weight-3 share {p1}");
+        assert!((p2 - 0.6).abs() < 0.01, "weight-6 share {p2}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = Xoshiro256StarStar::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hash64_pair_is_order_sensitive() {
+        assert_ne!(hash64_pair(1, 2), hash64_pair(2, 1));
+        assert_eq!(hash64_pair(1, 2), hash64_pair(1, 2));
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Xoshiro256StarStar::new(123);
+        let mut b = Xoshiro256StarStar::new(123);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256StarStar::new(123);
+        let mut b = Xoshiro256StarStar::new(124);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

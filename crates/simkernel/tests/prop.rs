@@ -1,0 +1,131 @@
+//! Property-based tests for the DES kernel.
+
+use bgpscale_simkernel::rng::{hash64, Rng, SplitMix64, Xoshiro256StarStar};
+use bgpscale_simkernel::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever is scheduled, pops come out in non-decreasing time order,
+    /// and simultaneous events keep FIFO order.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), seq);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO broken for simultaneous events");
+                }
+            }
+            last = Some((t, seq));
+        }
+    }
+
+    /// Interleaved schedule/pop sequences never violate monotonicity as
+    /// long as new events are scheduled at or after `now`.
+    #[test]
+    fn queue_interleaved_operations(script in prop::collection::vec((0u64..50, any::<bool>()), 1..100)) {
+        let mut q = EventQueue::new();
+        let mut popped = Vec::new();
+        for (delay, do_pop) in script {
+            if do_pop {
+                if let Some((t, ())) = q.pop() {
+                    popped.push(t);
+                }
+            } else {
+                q.schedule(q.now() + SimDuration::from_micros(delay), ());
+            }
+        }
+        for w in popped.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// `next_below` respects its bound for any seed and bound.
+    #[test]
+    fn next_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        for _ in 0..50 {
+            prop_assert!(g.next_below(bound) < bound);
+        }
+    }
+
+    /// `next_range_inclusive` stays within its closed range.
+    #[test]
+    fn range_inclusive_in_range(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        let hi = lo + span;
+        for _ in 0..20 {
+            let x = g.next_range_inclusive(lo, hi);
+            prop_assert!((lo..=hi).contains(&x));
+        }
+    }
+
+    /// `next_f64` is always in [0, 1).
+    #[test]
+    fn unit_floats(seed in any::<u64>()) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        for _ in 0..100 {
+            let x = g.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    /// Stochastic rounding only ever returns floor(x) or ceil(x).
+    #[test]
+    fn stochastic_round_adjacent(seed in any::<u64>(), x in 0.0f64..1e6) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        let r = g.round_stochastic(x);
+        prop_assert!(r == x.floor() as u64 || r == x.ceil() as u64, "x={x}, r={r}");
+    }
+
+    /// `choose_weighted` never selects a zero-weight index (when other
+    /// positive weights exist).
+    #[test]
+    fn weighted_choice_skips_zero_weights(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 2..30),
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let mut g = Xoshiro256StarStar::new(seed);
+        for _ in 0..20 {
+            let i = g.choose_weighted(&weights);
+            prop_assert!(weights[i] > 0.0, "picked zero-weight index {i}");
+        }
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), mut items in prop::collection::vec(any::<u32>(), 0..100)) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        let mut orig = items.clone();
+        g.shuffle(&mut items);
+        orig.sort_unstable();
+        items.sort_unstable();
+        prop_assert_eq!(orig, items);
+    }
+
+    /// hash64 is injective on small ranges in practice (no collisions in
+    /// any window of 10k consecutive integers we test).
+    #[test]
+    fn hash64_no_adjacent_collisions(base in 0u64..u64::MAX - 10_000) {
+        let mut seen = std::collections::HashSet::with_capacity(1_000);
+        for i in 0..1_000 {
+            prop_assert!(seen.insert(hash64(base + i)), "collision at offset {i}");
+        }
+    }
+
+    /// SplitMix64 streams from different seeds differ somewhere early.
+    #[test]
+    fn splitmix_seed_sensitivity(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let mut ga = SplitMix64::new(a);
+        let mut gb = SplitMix64::new(b);
+        let differs = (0..16).any(|_| ga.next_u64() != gb.next_u64());
+        prop_assert!(differs);
+    }
+}

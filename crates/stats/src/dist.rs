@@ -1,0 +1,145 @@
+//! The standard normal distribution.
+//!
+//! Implemented locally (no external special-function crates) with two
+//! classic approximations:
+//!
+//! * `erf` — Abramowitz & Stegun 7.1.26 with |ε| ≤ 1.5·10⁻⁷, extended to
+//!   full `f64` accuracy needs by symmetry;
+//! * `normal_quantile` — Acklam's rational approximation for Φ⁻¹ with
+//!   relative error below 1.15·10⁻⁹.
+//!
+//! These tolerances are far tighter than anything the churn analyses
+//! require (p-values and 95% CIs on 100-sample series).
+
+/// The error function `erf(x)` (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    // Coefficients of the A&S 7.1.26 approximation.
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Two-sided p-value for a standard-normal test statistic.
+pub fn two_sided_p(z: f64) -> f64 {
+    2.0 * (1.0 - normal_cdf(z.abs()))
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` (Acklam's algorithm).
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1.5e-7, "A&S 7.1.26 error bound");
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6, "odd symmetry");
+        assert!(erf(5.0) > 0.9999999);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-4);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-6,
+                "Φ(Φ⁻¹({p})) = {}",
+                normal_cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+    }
+
+    #[test]
+    fn two_sided_p_values() {
+        assert!((two_sided_p(1.96) - 0.05).abs() < 1e-3);
+        assert!((two_sided_p(0.0) - 1.0).abs() < 1e-6);
+        assert!(two_sided_p(10.0) < 1e-12);
+        assert_eq!(two_sided_p(-1.96), two_sided_p(1.96), "symmetric");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn quantile_rejects_out_of_range() {
+        normal_quantile(1.0);
+    }
+}

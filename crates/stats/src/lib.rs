@@ -1,0 +1,25 @@
+//! # bgpscale-stats
+//!
+//! The statistics toolkit behind the reproduction's analyses:
+//!
+//! * [`descriptive`] — means, variances, confidence intervals.
+//! * [`dist`] — the standard normal distribution (erf, Φ, Φ⁻¹),
+//!   implemented locally with well-known rational approximations.
+//! * [`regression`] — ordinary least squares for linear and quadratic
+//!   models with R² (the paper reports R² = 0.95 for the linear growth of
+//!   `Up(T)` and R² = 0.92 for the quadratic growth of `Uc(T)`).
+//! * [`mann_kendall`](mod@mann_kendall) — the Mann–Kendall trend test and Sen's slope
+//!   estimator, the method the paper uses on the RIPE monitor series of
+//!   Fig. 1.
+//! * [`powerlaw`] — discrete power-law exponent fitting (Clauset-style
+//!   MLE), used to check the generator's degree distributions.
+
+pub mod descriptive;
+pub mod dist;
+pub mod mann_kendall;
+pub mod powerlaw;
+pub mod regression;
+
+pub use descriptive::{confidence_interval_95, gini, mean, std_dev, Summary};
+pub use mann_kendall::{mann_kendall, sens_slope, MannKendall, Trend};
+pub use regression::{fit_linear, fit_quadratic, LinearFit, QuadraticFit};

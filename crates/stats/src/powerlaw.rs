@@ -1,0 +1,169 @@
+//! Discrete power-law fitting.
+//!
+//! Used to check the generator's "power-law degree distribution" property
+//! (§3). Follows Clauset, Shalizi & Newman (2009): for a discrete
+//! power-law `p(k) ∝ k^(−α)` with `k ≥ k_min`, the MLE of the exponent is
+//! approximately
+//!
+//! ```text
+//! α ≈ 1 + n · [ Σ ln( k_i / (k_min − ½) ) ]⁻¹
+//! ```
+//!
+//! together with a Kolmogorov–Smirnov distance between the empirical and
+//! fitted CCDFs as a goodness indicator.
+
+/// A fitted discrete power law.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerLawFit {
+    /// Estimated exponent α.
+    pub alpha: f64,
+    /// The cutoff used.
+    pub k_min: usize,
+    /// Number of samples at or above the cutoff.
+    pub tail_n: usize,
+    /// KS distance between the empirical tail CCDF and the fitted one.
+    pub ks: f64,
+}
+
+/// Fits the tail `k ≥ k_min` of a degree sample to a power law.
+///
+/// # Panics
+/// Panics if `k_min` is 0 or no sample reaches the cutoff.
+pub fn fit_power_law(degrees: &[usize], k_min: usize) -> PowerLawFit {
+    assert!(k_min >= 1, "k_min must be positive");
+    let tail: Vec<usize> = degrees.iter().copied().filter(|&k| k >= k_min).collect();
+    assert!(!tail.is_empty(), "no samples ≥ k_min = {k_min}");
+    let n = tail.len() as f64;
+    let log_sum: f64 = tail
+        .iter()
+        .map(|&k| (k as f64 / (k_min as f64 - 0.5)).ln())
+        .sum();
+    let alpha = 1.0 + n / log_sum;
+
+    // KS distance between empirical and model CCDF on the tail.
+    let mut sorted = tail.clone();
+    sorted.sort_unstable();
+    let model_ccdf = |k: usize| -> f64 {
+        // P(K ≥ k | K ≥ k_min) for the continuous approximation.
+        ((k as f64 - 0.5) / (k_min as f64 - 0.5)).powf(1.0 - alpha)
+    };
+    // Evaluate only at distinct values: the empirical CCDF at value k is
+    // the fraction of samples ≥ k, i.e. it is anchored at the *first*
+    // occurrence of k in the sorted order (ties share one CCDF point).
+    let mut ks = 0.0f64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let k = sorted[i];
+        let emp = (sorted.len() - i) as f64 / n;
+        ks = ks.max((emp - model_ccdf(k)).abs());
+        while i < sorted.len() && sorted[i] == k {
+            i += 1;
+        }
+    }
+    PowerLawFit {
+        alpha,
+        k_min,
+        tail_n: tail.len(),
+        ks,
+    }
+}
+
+/// Chooses `k_min` by scanning candidates and keeping the fit with the
+/// smallest KS distance (the Clauset et al. heuristic), requiring at
+/// least `min_tail` samples in the tail.
+pub fn fit_power_law_auto(degrees: &[usize], min_tail: usize) -> Option<PowerLawFit> {
+    let max_k = *degrees.iter().max()?;
+    let mut best: Option<PowerLawFit> = None;
+    for k_min in 1..=max_k {
+        let tail_n = degrees.iter().filter(|&&k| k >= k_min).count();
+        if tail_n < min_tail {
+            break;
+        }
+        let fit = fit_power_law(degrees, k_min);
+        if best.as_ref().is_none_or(|b| fit.ks < b.ks) {
+            best = Some(fit);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
+
+    /// Samples a discrete power law via inverse-transform on the
+    /// continuous approximation (good enough for testing the estimator).
+    fn sample_power_law(alpha: f64, k_min: usize, count: usize, seed: u64) -> Vec<usize> {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        (0..count)
+            .map(|_| {
+                let u = rng.next_f64();
+                let x = (k_min as f64 - 0.5) * (1.0 - u).powf(-1.0 / (alpha - 1.0));
+                x.round() as usize
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_known_exponent() {
+        // The MLE formula is the continuous approximation, accurate for
+        // k_min ≳ 6 (Clauset et al. §3.5); test in its validity regime.
+        for alpha in [2.1, 2.5, 3.0] {
+            let sample = sample_power_law(alpha, 6, 20_000, 42);
+            let fit = fit_power_law(&sample, 6);
+            assert!(
+                (fit.alpha - alpha).abs() < 0.1,
+                "α = {alpha}: estimated {}",
+                fit.alpha
+            );
+            assert!(fit.ks < 0.05, "KS = {}", fit.ks);
+        }
+    }
+
+    #[test]
+    fn cutoff_restricts_to_tail() {
+        let sample = vec![1, 1, 1, 1, 5, 6, 7, 8, 9, 10];
+        let fit = fit_power_law(&sample, 5);
+        assert_eq!(fit.tail_n, 6);
+        assert_eq!(fit.k_min, 5);
+    }
+
+    #[test]
+    fn auto_cutoff_finds_reasonable_fit() {
+        // Power-law tail with a non-power-law head of small degrees.
+        let mut sample = vec![1usize; 5_000];
+        sample.extend(sample_power_law(2.4, 3, 10_000, 7));
+        let fit = fit_power_law_auto(&sample, 500).expect("fit exists");
+        assert!(fit.k_min >= 2, "cutoff should skip the head, got {}", fit.k_min);
+        assert!((fit.alpha - 2.4).abs() < 0.25, "α = {}", fit.alpha);
+    }
+
+    #[test]
+    fn geometric_distribution_fits_badly() {
+        // An exponential-tailed distribution must yield a clearly larger
+        // KS distance than a true power law at the same size.
+        let mut rng = Xoshiro256StarStar::new(9);
+        let geometric: Vec<usize> = (0..10_000)
+            .map(|_| {
+                let u = rng.next_f64();
+                (1.0 + (1.0 - u).ln() / (0.5f64.ln())).floor() as usize
+            })
+            .collect();
+        let pl = sample_power_law(2.5, 3, 10_000, 10);
+        let fit_geo = fit_power_law(&geometric, 3);
+        let fit_pl = fit_power_law(&pl, 3);
+        assert!(
+            fit_geo.ks > 2.0 * fit_pl.ks,
+            "geo KS {} vs pl KS {}",
+            fit_geo.ks,
+            fit_pl.ks
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_tail_rejected() {
+        fit_power_law(&[1, 2, 3], 10);
+    }
+}

@@ -1,0 +1,214 @@
+//! Ordinary least squares: linear and quadratic fits with R².
+//!
+//! Used to reproduce the paper's growth-model claims — §4.2 reports that
+//! `Up(T)` grows approximately linearly (R² = 0.95) while `Uc(T)` grows
+//! quadratically (R² = 0.92) under the Baseline model.
+
+/// A fitted line `y = intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `β₀`.
+    pub intercept: f64,
+    /// Slope `β₁`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// A fitted parabola `y = a + b·x + c·x²`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuadraticFit {
+    /// Constant term `a`.
+    pub a: f64,
+    /// Linear coefficient `b`.
+    pub b: f64,
+    /// Quadratic coefficient `c`.
+    pub c: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+fn r_squared(ys: &[f64], predicted: impl Fn(usize) -> f64) -> f64 {
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = ys
+        .iter()
+        .enumerate()
+        .map(|(i, y)| (y - predicted(i)).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        // A constant series is fit perfectly by any model that can
+        // represent a constant.
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Fits `y = β₀ + β₁·x` by least squares.
+///
+/// # Panics
+/// Panics with fewer than 2 points, mismatched lengths, or degenerate
+/// (constant) x.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least 2 points");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let r2 = r_squared(ys, |i| intercept + slope * xs[i]);
+    LinearFit {
+        intercept,
+        slope,
+        r_squared: r2,
+    }
+}
+
+/// Fits `y = a + b·x + c·x²` by least squares (normal equations solved
+/// with Gaussian elimination on the 3×3 system).
+///
+/// # Panics
+/// Panics with fewer than 3 points, mismatched lengths, or a singular
+/// design (e.g. fewer than 3 distinct x values).
+pub fn fit_quadratic(xs: &[f64], ys: &[f64]) -> QuadraticFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 3, "need at least 3 points");
+    // Build the normal equations Σ X^T X β = X^T y for X = [1, x, x²].
+    let mut s = [0.0f64; 5]; // Σ x^k for k = 0..4
+    let mut t = [0.0f64; 3]; // Σ y·x^k for k = 0..2
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut xp = 1.0;
+        for sk in s.iter_mut() {
+            *sk += xp;
+            xp *= x;
+        }
+        let mut xp = 1.0;
+        for tk in t.iter_mut() {
+            *tk += y * xp;
+            xp *= x;
+        }
+    }
+    let mut m = [
+        [s[0], s[1], s[2], t[0]],
+        [s[1], s[2], s[3], t[1]],
+        [s[2], s[3], s[4], t[2]],
+    ];
+    // Gaussian elimination with partial pivoting.
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).unwrap())
+            .unwrap();
+        m.swap(col, pivot);
+        assert!(m[col][col].abs() > 1e-12, "singular design matrix");
+        for row in 0..3 {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                let pivot_row = m[col];
+                for (k, cell) in m[row].iter_mut().enumerate().skip(col) {
+                    *cell -= f * pivot_row[k];
+                }
+            }
+        }
+    }
+    let a = m[0][3] / m[0][0];
+    let b = m[1][3] / m[1][1];
+    let c = m[2][3] / m[2][2];
+    let r2 = r_squared(ys, |i| a + b * xs[i] + c * xs[i] * xs[i]);
+    QuadraticFit {
+        a,
+        b,
+        c,
+        r_squared: r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_coefficients() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let f = fit_linear(&xs, &ys);
+        assert!((f.intercept - 3.0).abs() < 1e-9);
+        assert!((f.slope - 2.0).abs() < 1e-9);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_but_imperfect_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.0 + 0.5 * x + if (*x as i64) % 2 == 0 { 0.8 } else { -0.8 })
+            .collect();
+        let f = fit_linear(&xs, &ys);
+        assert!((f.slope - 0.5).abs() < 0.02);
+        assert!(f.r_squared > 0.95 && f.r_squared < 1.0);
+    }
+
+    #[test]
+    fn exact_parabola_recovers_coefficients() {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 2.0 * x + 0.3 * x * x).collect();
+        let f = fit_quadratic(&xs, &ys);
+        assert!((f.a - 1.0).abs() < 1e-6, "a = {}", f.a);
+        assert!((f.b + 2.0).abs() < 1e-6, "b = {}", f.b);
+        assert!((f.c - 0.3).abs() < 1e-8, "c = {}", f.c);
+        assert!((f.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_beats_linear_on_quadratic_data() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 * 1000.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x / 1000.0).powi(2)).collect();
+        let lin = fit_linear(&xs, &ys);
+        let quad = fit_quadratic(&xs, &ys);
+        assert!(quad.r_squared > lin.r_squared);
+        assert!(quad.r_squared > 0.9999);
+    }
+
+    #[test]
+    fn constant_series_r2_is_one() {
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let ys = vec![4.0; 5];
+        assert_eq!(fit_linear(&xs, &ys).r_squared, 1.0);
+        assert_eq!(fit_quadratic(&xs, &ys).r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        fit_linear(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate x")]
+    fn constant_x_rejected() {
+        fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn quadratic_needs_three_distinct_x() {
+        fit_quadratic(&[1.0, 1.0, 2.0, 2.0], &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn quadratic_needs_three_points() {
+        fit_quadratic(&[1.0, 2.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the statistics toolkit.
+
+use bgpscale_stats::descriptive::{confidence_interval_95, mean, std_dev};
+use bgpscale_stats::dist::{normal_cdf, normal_quantile};
+use bgpscale_stats::mann_kendall::{mann_kendall, sens_slope};
+use bgpscale_stats::regression::{fit_linear, fit_quadratic};
+use proptest::prelude::*;
+
+proptest! {
+    /// Kendall's tau is always in [−1, 1]; strictly monotone series reach
+    /// the endpoints.
+    #[test]
+    fn tau_bounded(xs in prop::collection::vec(-1e6f64..1e6, 3..100)) {
+        let mk = mann_kendall(&xs);
+        prop_assert!((-1.0..=1.0).contains(&mk.tau));
+        prop_assert!(mk.var_s > 0.0 || xs.iter().all(|&x| x == xs[0]));
+        prop_assert!((0.0..=1.0).contains(&mk.p_value));
+    }
+
+    /// Adding a positive constant to a strictly increasing ramp keeps
+    /// tau = 1; reversing flips the sign of S.
+    #[test]
+    fn tau_symmetry_under_reversal(xs in prop::collection::vec(-1e6f64..1e6, 3..60)) {
+        let mk = mann_kendall(&xs);
+        let mut rev = xs.clone();
+        rev.reverse();
+        let mk_rev = mann_kendall(&rev);
+        prop_assert_eq!(mk.s, -mk_rev.s);
+    }
+
+    /// Sen's slope lies between the extreme pairwise slopes.
+    #[test]
+    fn sen_slope_bounded_by_extremes(xs in prop::collection::vec(-1e6f64..1e6, 2..50)) {
+        let slope = sens_slope(&xs);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..xs.len() {
+            for j in (i + 1)..xs.len() {
+                let s = (xs[j] - xs[i]) / (j - i) as f64;
+                min = min.min(s);
+                max = max.max(s);
+            }
+        }
+        prop_assert!(slope >= min - 1e-9 && slope <= max + 1e-9);
+    }
+
+    /// Sen's slope is equivariant: scaling the data scales the slope.
+    #[test]
+    fn sen_slope_scale_equivariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..40),
+        k in 0.1f64..10.0,
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| k * x).collect();
+        let a = sens_slope(&xs) * k;
+        let b = sens_slope(&scaled);
+        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    /// R² of a linear fit is ≤ 1 and the residual of a quadratic fit on
+    /// the same data is never worse (the model nests the linear one).
+    #[test]
+    fn quadratic_nests_linear(
+        ys in prop::collection::vec(-1e3f64..1e3, 4..40),
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let lin = fit_linear(&xs, &ys);
+        let quad = fit_quadratic(&xs, &ys);
+        prop_assert!(lin.r_squared <= 1.0 + 1e-9);
+        prop_assert!(quad.r_squared <= 1.0 + 1e-9);
+        prop_assert!(quad.r_squared >= lin.r_squared - 1e-6,
+            "quadratic fit ({}) worse than nested linear fit ({})",
+            quad.r_squared, lin.r_squared);
+    }
+
+    /// Fitting recovers any exact line.
+    #[test]
+    fn linear_fit_exact_recovery(a in -100f64..100.0, b in -100f64..100.0) {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let f = fit_linear(&xs, &ys);
+        prop_assert!((f.intercept - a).abs() < 1e-6);
+        prop_assert!((f.slope - b).abs() < 1e-7);
+    }
+
+    /// The normal CDF is monotone and the quantile inverts it.
+    #[test]
+    fn cdf_monotone_and_inverted(x in -5.0f64..5.0, y in -5.0f64..5.0) {
+        if x < y {
+            prop_assert!(normal_cdf(x) <= normal_cdf(y));
+        }
+        let p = normal_cdf(x).clamp(1e-9, 1.0 - 1e-9);
+        let back = normal_quantile(p);
+        prop_assert!((back - x).abs() < 1e-3, "Φ⁻¹(Φ({x})) = {back}");
+    }
+
+    /// Mean/std/CI sanity: the mean lies in [min, max]; the CI shrinks
+    /// when the data is duplicated (n doubles, s fixed).
+    #[test]
+    fn descriptive_sanity(xs in prop::collection::vec(-1e6f64..1e6, 2..60)) {
+        let m = mean(&xs);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+        prop_assert!(std_dev(&xs) >= 0.0);
+        let doubled: Vec<f64> = xs.iter().chain(&xs).copied().collect();
+        prop_assert!(confidence_interval_95(&doubled) <= confidence_interval_95(&xs) + 1e-9);
+    }
+}

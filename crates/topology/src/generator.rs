@@ -1,0 +1,567 @@
+//! Two-phase top-down topology construction (§3 of the paper).
+//!
+//! Phase 1 — nodes and transit links:
+//!
+//! 1. Create the tier-1 clique (T nodes, present in all regions, fully
+//!    meshed with peering links).
+//! 2. Add M nodes one at a time. Each draws a provider count uniform in
+//!    `[1, 2·dM − 1]` (mean `dM`), fills each slot from the T pool with
+//!    probability `tM` and from the already-added M pool otherwise, and
+//!    selects within the pool by **preferential attachment** on transit
+//!    degree. Only same-region candidates are eligible. Because an M node
+//!    can only buy transit from *earlier* M nodes, the provider relation is
+//!    acyclic by construction (the paper's "hierarchical structure").
+//! 3. Add CP and C stubs the same way, with their own `d`/`t` knobs.
+//!
+//! Phase 2 — peering links:
+//!
+//! 4. Each M node draws `U[0, 2·pM]` peering links to other M nodes,
+//!    selected by preferential attachment **on peering degree**.
+//! 5. Each CP node draws `U[0, 2·pCP−M]` links to M nodes and
+//!    `U[0, 2·pCP−CP]` links to other CP nodes, selected uniformly.
+//!
+//! Throughout phase 2 the generator enforces the paper's economic
+//! invariant: a node never peers with a node in its own customer tree
+//! (such a link would cannibalize its own transit revenue).
+
+use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
+
+use crate::graph::AsGraph;
+use crate::params::TopologyParams;
+use crate::scenario::GrowthScenario;
+use crate::types::{AsId, NodeType, RegionSet};
+
+/// Generates a topology for `scenario` at size `n` with the given seed.
+///
+/// Equal inputs produce bit-identical topologies.
+pub fn generate(scenario: GrowthScenario, n: usize, seed: u64) -> AsGraph {
+    generate_with_params(&scenario.params(n), seed)
+}
+
+/// Generates a topology from explicit parameters (the escape hatch for
+/// custom what-if studies beyond the paper's scenarios).
+///
+/// # Panics
+/// Panics if `params.check()` fails.
+pub fn generate_with_params(params: &TopologyParams, seed: u64) -> AsGraph {
+    params
+        .check()
+        .unwrap_or_else(|e| panic!("invalid topology parameters: {e}"));
+    let mut b = Builder::new(params, seed);
+    b.add_tier1_clique();
+    b.add_m_nodes();
+    b.add_stubs(NodeType::Cp);
+    b.add_stubs(NodeType::C);
+    b.add_m_peering();
+    b.add_cp_peering();
+    b.graph
+}
+
+struct Builder<'a> {
+    p: &'a TopologyParams,
+    rng: Xoshiro256StarStar,
+    graph: AsGraph,
+    t_nodes: Vec<AsId>,
+    m_nodes: Vec<AsId>,
+    cp_nodes: Vec<AsId>,
+    /// Scratch buffer for weighted draws, reused to avoid per-draw
+    /// allocation.
+    weights: Vec<f64>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(p: &'a TopologyParams, seed: u64) -> Self {
+        Builder {
+            p,
+            rng: Xoshiro256StarStar::new(seed),
+            graph: AsGraph::with_capacity(p.n),
+            t_nodes: Vec::with_capacity(p.n_t),
+            m_nodes: Vec::with_capacity(p.n_m),
+            cp_nodes: Vec::with_capacity(p.n_cp),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Draws a region set: `two_region_frac` of nodes span two distinct
+    /// regions, the rest one.
+    fn draw_regions(&mut self, two_region_frac: f64) -> RegionSet {
+        let r1 = self.rng.next_below(self.p.regions as u64) as usize;
+        let mut set = RegionSet::single(r1);
+        if self.p.regions > 1 && self.rng.chance(two_region_frac) {
+            loop {
+                let r2 = self.rng.next_below(self.p.regions as u64) as usize;
+                if r2 != r1 {
+                    set.insert(r2);
+                    break;
+                }
+            }
+        }
+        set
+    }
+
+    /// Provider count: uniform in `[1, 2·mean − 1]`, stochastically
+    /// rounded, so the expectation is exactly `mean` and the minimum is 1
+    /// (every non-T node needs a provider).
+    fn draw_provider_count(&mut self, mean: f64) -> usize {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let x = self.rng.next_f64_range(1.0, 2.0 * mean - 1.0);
+        (self.rng.round_stochastic(x) as usize).max(1)
+    }
+
+    /// Peering count: uniform in `[0, 2·mean]`, stochastically rounded
+    /// (expectation exactly `mean`; zero is allowed).
+    fn draw_peer_count(&mut self, mean: f64) -> usize {
+        if mean <= 0.0 {
+            return 0;
+        }
+        let x = self.rng.next_f64_range(0.0, 2.0 * mean);
+        self.rng.round_stochastic(x) as usize
+    }
+
+    fn add_tier1_clique(&mut self) {
+        let all_regions = RegionSet::all(self.p.regions);
+        for _ in 0..self.p.n_t {
+            let id = self.graph.add_node(NodeType::T, all_regions);
+            self.t_nodes.push(id);
+        }
+        for i in 0..self.t_nodes.len() {
+            for j in (i + 1)..self.t_nodes.len() {
+                self.graph.add_peer_link(self.t_nodes[i], self.t_nodes[j]);
+            }
+        }
+    }
+
+    /// Weighted provider pick from `pool` by preferential attachment on
+    /// transit degree (+1 smoothing so degree-zero candidates remain
+    /// reachable). Region compatibility and already-chosen providers are
+    /// excluded. Returns `None` if the pool has no eligible candidate.
+    fn pick_provider(&mut self, me: AsId, pool: &[AsId], chosen: &[AsId]) -> Option<AsId> {
+        let my_regions = self.graph.regions(me);
+        self.weights.clear();
+        let mut total = 0.0;
+        for &cand in pool {
+            let w = if cand == me
+                || chosen.contains(&cand)
+                || !self.graph.regions(cand).intersects(my_regions)
+            {
+                0.0
+            } else {
+                (self.graph.transit_degree(cand) + 1) as f64
+            };
+            self.weights.push(w);
+            total += w;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        Some(pool[self.rng.choose_weighted(&self.weights)])
+    }
+
+    /// Selects and wires the providers for one freshly added node.
+    ///
+    /// `t_prob` is the probability that a slot draws from the T pool;
+    /// `m_pool` holds the eligible M candidates (nodes added earlier).
+    /// The PREFER-* caps of §5.4 are applied here: when a pool's cap is
+    /// reached (or the pool has no eligible candidate), the slot falls back
+    /// to the other pool; if neither pool can serve, the slot is dropped.
+    fn wire_providers(&mut self, me: AsId, count: usize, t_prob: f64, m_pool: &[AsId], is_m_node: bool) {
+        let t_cap = if is_m_node {
+            self.p.max_t_providers_for_m.unwrap_or(usize::MAX)
+        } else {
+            usize::MAX
+        };
+        let m_cap = self.p.max_m_providers.unwrap_or(usize::MAX);
+        let mut chosen: Vec<AsId> = Vec::with_capacity(count);
+        let mut t_used = 0usize;
+        let mut m_used = 0usize;
+        // Split into owned vec to satisfy the borrow checker on t_nodes.
+        let t_pool: Vec<AsId> = self.t_nodes.clone();
+        for _ in 0..count {
+            let mut want_t = self.rng.chance(t_prob);
+            if want_t && t_used >= t_cap {
+                want_t = false;
+            }
+            if !want_t && m_used >= m_cap {
+                want_t = true;
+            }
+            if want_t && t_used >= t_cap {
+                break; // both pools capped
+            }
+            let provider = if want_t {
+                self.pick_provider(me, &t_pool, &chosen).or_else(|| {
+                    if m_used < m_cap {
+                        self.pick_provider(me, m_pool, &chosen)
+                    } else {
+                        None
+                    }
+                })
+            } else {
+                self.pick_provider(me, m_pool, &chosen).or_else(|| {
+                    if t_used < t_cap {
+                        self.pick_provider(me, &t_pool, &chosen)
+                    } else {
+                        None
+                    }
+                })
+            };
+            let Some(provider) = provider else { break };
+            if self.graph.node_type(provider) == NodeType::T {
+                t_used += 1;
+            } else {
+                m_used += 1;
+            }
+            self.graph.add_transit_link(me, provider);
+            chosen.push(provider);
+        }
+        debug_assert!(
+            !chosen.is_empty(),
+            "node {me} ended up with no provider (pool exhaustion should be impossible: T pool is global)"
+        );
+    }
+
+    fn add_m_nodes(&mut self) {
+        for _ in 0..self.p.n_m {
+            let regions = self.draw_regions(self.p.m_two_region_frac);
+            let id = self.graph.add_node(NodeType::M, regions);
+            let count = self.draw_provider_count(self.p.d_m);
+            // Pool = M nodes added before `id` only: keeps the provider
+            // relation acyclic.
+            let pool: Vec<AsId> = self.m_nodes.clone();
+            self.wire_providers(id, count, self.p.t_m, &pool, true);
+            self.m_nodes.push(id);
+        }
+    }
+
+    fn add_stubs(&mut self, ty: NodeType) {
+        let (count, two_region_frac, d, t_prob) = match ty {
+            NodeType::Cp => (self.p.n_cp, self.p.cp_two_region_frac, self.p.d_cp, self.p.t_cp),
+            NodeType::C => (self.p.n_c, 0.0, self.p.d_c, self.p.t_c),
+            _ => unreachable!("add_stubs only handles stub types"),
+        };
+        let pool: Vec<AsId> = self.m_nodes.clone();
+        for _ in 0..count {
+            let regions = self.draw_regions(two_region_frac);
+            let id = self.graph.add_node(ty, regions);
+            let slots = self.draw_provider_count(d);
+            self.wire_providers(id, slots, t_prob, &pool, false);
+            if ty == NodeType::Cp {
+                self.cp_nodes.push(id);
+            }
+        }
+    }
+
+    /// True if `a`–`b` is an acceptable peering link: not already adjacent
+    /// and neither endpoint lies in the other's customer tree.
+    fn peering_ok(&self, a: AsId, b: AsId) -> bool {
+        a != b
+            && !self.graph.has_link(a, b)
+            && !self.graph.in_customer_tree(a, b)
+            && !self.graph.in_customer_tree(b, a)
+    }
+
+    /// Weighted peer pick with an expensive validity predicate: weights are
+    /// computed from cheap checks, and customer-tree validity is verified
+    /// only on drawn candidates (zeroing and redrawing on failure), which
+    /// avoids a BFS per candidate.
+    fn pick_peer(
+        &mut self,
+        me: AsId,
+        pool: &[AsId],
+        preferential_on_peering_degree: bool,
+    ) -> Option<AsId> {
+        let my_regions = self.graph.regions(me);
+        self.weights.clear();
+        let mut total = 0.0;
+        for &cand in pool {
+            let w = if cand == me
+                || !self.graph.regions(cand).intersects(my_regions)
+                || self.graph.has_link(me, cand)
+            {
+                0.0
+            } else if preferential_on_peering_degree {
+                (self.graph.peering_degree(cand) + 1) as f64
+            } else {
+                1.0
+            };
+            self.weights.push(w);
+            total += w;
+        }
+        while total > 0.0 {
+            let idx = self.rng.choose_weighted(&self.weights);
+            let cand = pool[idx];
+            if self.peering_ok(me, cand) {
+                return Some(cand);
+            }
+            total -= self.weights[idx];
+            self.weights[idx] = 0.0;
+        }
+        None
+    }
+
+    fn add_m_peering(&mut self) {
+        let pool: Vec<AsId> = self.m_nodes.clone();
+        for i in 0..pool.len() {
+            let me = pool[i];
+            let count = self.draw_peer_count(self.p.p_m);
+            for _ in 0..count {
+                // Preferential attachment "considering only the peering
+                // degree of each potential peer" (§3).
+                match self.pick_peer(me, &pool, true) {
+                    Some(peer) => self.graph.add_peer_link(me, peer),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn add_cp_peering(&mut self) {
+        let m_pool: Vec<AsId> = self.m_nodes.clone();
+        let cp_pool: Vec<AsId> = self.cp_nodes.clone();
+        for i in 0..cp_pool.len() {
+            let me = cp_pool[i];
+            let to_m = self.draw_peer_count(self.p.p_cp_m);
+            for _ in 0..to_m {
+                // CP nodes select peers uniformly within their region (§3).
+                match self.pick_peer(me, &m_pool, false) {
+                    Some(peer) => self.graph.add_peer_link(me, peer),
+                    None => break,
+                }
+            }
+            let to_cp = self.draw_peer_count(self.p.p_cp_cp);
+            for _ in 0..to_cp {
+                match self.pick_peer(me, &cp_pool, false) {
+                    Some(peer) => self.graph.add_peer_link(me, peer),
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Relationship;
+
+    fn baseline(n: usize, seed: u64) -> AsGraph {
+        generate(GrowthScenario::Baseline, n, seed)
+    }
+
+    #[test]
+    fn generates_requested_population() {
+        let g = baseline(1_000, 1);
+        let p = GrowthScenario::Baseline.params(1_000);
+        assert_eq!(g.len(), 1_000);
+        assert_eq!(g.count_of_type(NodeType::T), p.n_t);
+        assert_eq!(g.count_of_type(NodeType::M), p.n_m);
+        assert_eq!(g.count_of_type(NodeType::Cp), p.n_cp);
+        assert_eq!(g.count_of_type(NodeType::C), p.n_c);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = baseline(500, 7);
+        let b = baseline(500, 7);
+        assert_eq!(a.link_count(), b.link_count());
+        for id in a.node_ids() {
+            assert_eq!(a.neighbors(id), b.neighbors(id), "adjacency differs at {id}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = baseline(500, 1);
+        let b = baseline(500, 2);
+        let differs = a
+            .node_ids()
+            .any(|id| a.neighbors(id) != b.neighbors(id));
+        assert!(differs);
+    }
+
+    #[test]
+    fn tier1_forms_full_clique() {
+        let g = baseline(800, 3);
+        let ts = g.nodes_of_type(NodeType::T);
+        for (i, &a) in ts.iter().enumerate() {
+            for &b in &ts[i + 1..] {
+                assert_eq!(g.relationship(a, b), Some(Relationship::Peer), "{a}–{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_nodes_have_no_providers() {
+        let g = baseline(800, 4);
+        for t in g.nodes_of_type(NodeType::T) {
+            assert_eq!(g.multihoming_degree(t), 0);
+        }
+    }
+
+    #[test]
+    fn every_non_t_node_has_a_provider() {
+        let g = baseline(1_000, 5);
+        for id in g.node_ids() {
+            if g.node_type(id) != NodeType::T {
+                assert!(g.multihoming_degree(id) >= 1, "{id} has no provider");
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_have_no_customers() {
+        let g = baseline(1_000, 6);
+        for id in g.node_ids() {
+            if g.node_type(id).is_stub() {
+                assert_eq!(g.degree_with_rel(id, Relationship::Customer), 0, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn c_nodes_never_peer() {
+        let g = baseline(1_000, 7);
+        for id in g.node_ids() {
+            if g.node_type(id) == NodeType::C {
+                assert_eq!(g.peering_degree(id), 0, "{id} has peer links");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_multihoming_degree_tracks_parameter() {
+        let g = baseline(2_000, 8);
+        let p = GrowthScenario::Baseline.params(2_000);
+        let ms = g.nodes_of_type(NodeType::M);
+        let mean_m: f64 =
+            ms.iter().map(|&m| g.multihoming_degree(m) as f64).sum::<f64>() / ms.len() as f64;
+        assert!(
+            (mean_m - p.d_m).abs() < 0.35,
+            "mean M multihoming {mean_m} vs target {}",
+            p.d_m
+        );
+        let cs = g.nodes_of_type(NodeType::C);
+        let mean_c: f64 =
+            cs.iter().map(|&c| g.multihoming_degree(c) as f64).sum::<f64>() / cs.len() as f64;
+        assert!(
+            (mean_c - p.d_c).abs() < 0.1,
+            "mean C multihoming {mean_c} vs target {}",
+            p.d_c
+        );
+    }
+
+    #[test]
+    fn no_peering_scenario_has_only_clique_peering() {
+        let g = generate(GrowthScenario::NoPeering, 1_000, 9);
+        let p = GrowthScenario::NoPeering.params(1_000);
+        let clique_links = p.n_t * (p.n_t - 1) / 2;
+        assert_eq!(g.peer_link_count(), clique_links);
+    }
+
+    #[test]
+    fn tree_scenario_gives_single_provider_everywhere() {
+        let g = generate(GrowthScenario::Tree, 1_000, 10);
+        for id in g.node_ids() {
+            if g.node_type(id) != NodeType::T {
+                assert_eq!(g.multihoming_degree(id), 1, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefer_middle_caps_t_providers_of_m() {
+        let g = generate(GrowthScenario::PreferMiddle, 1_000, 11);
+        for m in g.nodes_of_type(NodeType::M) {
+            let t_providers = g
+                .providers(m)
+                .filter(|&p| g.node_type(p) == NodeType::T)
+                .count();
+            assert!(t_providers <= 1, "{m} has {t_providers} T providers");
+        }
+        // Stubs should buy from M nodes (t probabilities are zero); the T
+        // fallback only triggers when a region has no M candidate.
+        let stub_t_links: usize = g
+            .node_ids()
+            .filter(|&id| g.node_type(id).is_stub())
+            .map(|id| g.providers(id).filter(|&p| g.node_type(p) == NodeType::T).count())
+            .sum();
+        let stub_links: usize = g
+            .node_ids()
+            .filter(|&id| g.node_type(id).is_stub())
+            .map(|id| g.multihoming_degree(id))
+            .sum();
+        assert!(
+            (stub_t_links as f64) < 0.05 * stub_links as f64,
+            "{stub_t_links}/{stub_links} stub transit links go to T under PREFER-MIDDLE"
+        );
+    }
+
+    #[test]
+    fn prefer_top_caps_m_providers() {
+        let g = generate(GrowthScenario::PreferTop, 1_000, 12);
+        for id in g.node_ids() {
+            if g.node_type(id) == NodeType::T {
+                continue;
+            }
+            let m_providers = g
+                .providers(id)
+                .filter(|&p| g.node_type(p) == NodeType::M)
+                .count();
+            assert!(m_providers <= 1, "{id} has {m_providers} M providers");
+        }
+    }
+
+    #[test]
+    fn no_peer_link_inside_customer_tree() {
+        let g = baseline(1_000, 13);
+        for id in g.node_ids() {
+            for peer in g.peers(id) {
+                assert!(
+                    !g.in_customer_tree(id, peer),
+                    "{id} peers with its own customer {peer}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_links_respect_regions() {
+        let g = baseline(1_000, 14);
+        for id in g.node_ids() {
+            for n in g.neighbors(id) {
+                assert!(g.regions(id).intersects(g.regions(n.id)));
+            }
+        }
+    }
+
+    #[test]
+    fn transit_clique_has_no_m_nodes_and_many_t() {
+        let g = generate(GrowthScenario::TransitClique, 600, 15);
+        assert_eq!(g.count_of_type(NodeType::M), 0);
+        assert_eq!(g.count_of_type(NodeType::T), 90);
+    }
+
+    #[test]
+    fn peering_degree_preferential_attachment_concentrates() {
+        // Under Baseline, M–M peering by preferential attachment should
+        // produce a max peering degree well above the mean.
+        let g = baseline(3_000, 16);
+        let ms = g.nodes_of_type(NodeType::M);
+        let degs: Vec<usize> = ms.iter().map(|&m| g.peering_degree(m)).collect();
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        let max = *degs.iter().max().unwrap();
+        assert!(
+            max as f64 > 3.0 * mean,
+            "max peering degree {max} not heavy-tailed vs mean {mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology parameters")]
+    fn bad_params_rejected() {
+        let mut p = GrowthScenario::Baseline.params(1_000);
+        p.n_c += 5;
+        let _ = generate_with_params(&p, 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! The topology growth scenarios of §5 — the Baseline model plus thirteen
+//! single-dimensional "what-if" deviations.
+//!
+//! Each scenario is a transform of the Baseline [`TopologyParams`] at a
+//! given size `n`. The four groups mirror the paper's subsections:
+//!
+//! * §5.1 population mix: [`NoMiddle`], [`RichMiddle`], [`StaticMiddle`],
+//!   [`TransitClique`]
+//! * §5.2 multihoming degree: [`DenseCore`], [`DenseEdge`], [`Tree`],
+//!   [`ConstantMhd`]
+//! * §5.3 peering: [`NoPeering`], [`StrongCorePeering`],
+//!   [`StrongEdgePeering`]
+//! * §5.4 provider preference: [`PreferMiddle`], [`PreferTop`]
+//!
+//! [`NoMiddle`]: GrowthScenario::NoMiddle
+//! [`RichMiddle`]: GrowthScenario::RichMiddle
+//! [`StaticMiddle`]: GrowthScenario::StaticMiddle
+//! [`TransitClique`]: GrowthScenario::TransitClique
+//! [`DenseCore`]: GrowthScenario::DenseCore
+//! [`DenseEdge`]: GrowthScenario::DenseEdge
+//! [`Tree`]: GrowthScenario::Tree
+//! [`ConstantMhd`]: GrowthScenario::ConstantMhd
+//! [`NoPeering`]: GrowthScenario::NoPeering
+//! [`StrongCorePeering`]: GrowthScenario::StrongCorePeering
+//! [`StrongEdgePeering`]: GrowthScenario::StrongEdgePeering
+//! [`PreferMiddle`]: GrowthScenario::PreferMiddle
+//! [`PreferTop`]: GrowthScenario::PreferTop
+
+use std::fmt;
+
+use crate::params::TopologyParams;
+
+/// The size at which STATIC-MIDDLE freezes the transit population (the
+/// smallest size in the paper's sweeps).
+const STATIC_MIDDLE_FREEZE_N: usize = 1_000;
+
+/// One of the paper's topology growth models.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GrowthScenario {
+    /// The Baseline model of Table 1, resembling the Internet's growth over
+    /// the decade before the paper.
+    Baseline,
+    /// §5.1: no M nodes at all — tier-1 transit is so cheap that regional
+    /// providers have left the market.
+    NoMiddle,
+    /// §5.1: a booming ISP market: `nM = 0.45 n` (3× Baseline).
+    RichMiddle,
+    /// §5.1: the transit population (T and M counts) is frozen at its
+    /// n = 1000 value; all growth happens at the edge.
+    StaticMiddle,
+    /// §5.1: every transit node joins the top clique: `nT = 0.15 n, nM = 0`.
+    TransitClique,
+    /// §5.2: much stronger multihoming in the core: `dM × 3`.
+    DenseCore,
+    /// §5.2: densification at the edge: `dC × 3, dCP × 3`.
+    DenseEdge,
+    /// §5.2: a tree-like graph: every non-T node has exactly one provider.
+    Tree,
+    /// §5.2: multihoming degrees keep their n = 0 intercepts (no growth
+    /// with n).
+    ConstantMhd,
+    /// §5.3: no peering links outside the T clique.
+    NoPeering,
+    /// §5.3: core densification through peering: `pM × 2`.
+    StrongCorePeering,
+    /// §5.3: edge densification through peering: `pCP−M × 3, pCP−CP × 3`.
+    StrongEdgePeering,
+    /// §5.4: nodes prefer M providers: `tCP = tC = 0` (stubs never buy
+    /// from tier-1) and M nodes may have at most one T provider.
+    PreferMiddle,
+    /// §5.4: nodes prefer T providers: any node may have at most one M
+    /// provider.
+    PreferTop,
+}
+
+impl GrowthScenario {
+    /// All scenarios, Baseline first, in the paper's presentation order.
+    pub const ALL: [GrowthScenario; 14] = [
+        GrowthScenario::Baseline,
+        GrowthScenario::NoMiddle,
+        GrowthScenario::RichMiddle,
+        GrowthScenario::StaticMiddle,
+        GrowthScenario::TransitClique,
+        GrowthScenario::DenseCore,
+        GrowthScenario::DenseEdge,
+        GrowthScenario::Tree,
+        GrowthScenario::ConstantMhd,
+        GrowthScenario::NoPeering,
+        GrowthScenario::StrongCorePeering,
+        GrowthScenario::StrongEdgePeering,
+        GrowthScenario::PreferMiddle,
+        GrowthScenario::PreferTop,
+    ];
+
+    /// The paper's name for the scenario (e.g. `"DENSE-CORE"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            GrowthScenario::Baseline => "BASELINE",
+            GrowthScenario::NoMiddle => "NO-MIDDLE",
+            GrowthScenario::RichMiddle => "RICH-MIDDLE",
+            GrowthScenario::StaticMiddle => "STATIC-MIDDLE",
+            GrowthScenario::TransitClique => "TRANSIT-CLIQUE",
+            GrowthScenario::DenseCore => "DENSE-CORE",
+            GrowthScenario::DenseEdge => "DENSE-EDGE",
+            GrowthScenario::Tree => "TREE",
+            GrowthScenario::ConstantMhd => "CONSTANT-MHD",
+            GrowthScenario::NoPeering => "NO-PEERING",
+            GrowthScenario::StrongCorePeering => "STRONG-CORE-PEERING",
+            GrowthScenario::StrongEdgePeering => "STRONG-EDGE-PEERING",
+            GrowthScenario::PreferMiddle => "PREFER-MIDDLE",
+            GrowthScenario::PreferTop => "PREFER-TOP",
+        }
+    }
+
+    /// Parses a scenario from its paper name (case-insensitive; `_` and `-`
+    /// are interchangeable).
+    pub fn from_name(name: &str) -> Option<GrowthScenario> {
+        let canon = name.trim().to_ascii_uppercase().replace('_', "-");
+        Self::ALL.into_iter().find(|s| s.name() == canon)
+    }
+
+    /// Materializes the scenario's parameters at size `n`.
+    pub fn params(self, n: usize) -> TopologyParams {
+        let mut p = TopologyParams::baseline(n);
+        match self {
+            GrowthScenario::Baseline => {}
+            GrowthScenario::NoMiddle => {
+                p.n_m = 0;
+                p.rebalance_stubs();
+            }
+            GrowthScenario::RichMiddle => {
+                p.n_m = (0.45 * n as f64).round() as usize;
+                p.rebalance_stubs();
+            }
+            GrowthScenario::StaticMiddle => {
+                // Freeze the transit population at the n=1000 level (the
+                // smallest size in the paper's sweeps); below that, the
+                // scenario degenerates to the Baseline mix so it stays
+                // well-defined at any size.
+                let frozen = TopologyParams::baseline(STATIC_MIDDLE_FREEZE_N.min(n));
+                p.n_t = frozen.n_t;
+                p.n_m = frozen.n_m;
+                p.rebalance_stubs();
+            }
+            GrowthScenario::TransitClique => {
+                p.n_t = (0.15 * n as f64).round() as usize;
+                p.n_m = 0;
+                p.rebalance_stubs();
+            }
+            GrowthScenario::DenseCore => {
+                p.d_m *= 3.0;
+            }
+            GrowthScenario::DenseEdge => {
+                p.d_c *= 3.0;
+                p.d_cp *= 3.0;
+            }
+            GrowthScenario::Tree => {
+                p.d_m = 1.0;
+                p.d_cp = 1.0;
+                p.d_c = 1.0;
+            }
+            GrowthScenario::ConstantMhd => {
+                // Keep the n-independent intercepts of Table 1.
+                p.d_m = 2.0;
+                p.d_cp = 2.0;
+                p.d_c = 1.0;
+            }
+            GrowthScenario::NoPeering => {
+                p.p_m = 0.0;
+                p.p_cp_m = 0.0;
+                p.p_cp_cp = 0.0;
+            }
+            GrowthScenario::StrongCorePeering => {
+                p.p_m *= 2.0;
+            }
+            GrowthScenario::StrongEdgePeering => {
+                p.p_cp_m *= 3.0;
+                p.p_cp_cp *= 3.0;
+            }
+            GrowthScenario::PreferMiddle => {
+                // §5.4: "setting tP = tC = 0, and limiting the number of T
+                // providers for M nodes to one at most" — stubs never buy
+                // transit from tier-1 directly; M nodes keep their Baseline
+                // T-provider probability but at most one such link.
+                p.t_cp = 0.0;
+                p.t_c = 0.0;
+                p.max_t_providers_for_m = Some(1);
+            }
+            GrowthScenario::PreferTop => {
+                p.max_m_providers = Some(1);
+            }
+        }
+        debug_assert!(p.check().is_ok(), "scenario produced bad params: {:?}", p.check());
+        p
+    }
+}
+
+impl fmt::Display for GrowthScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_produce_valid_params() {
+        for s in GrowthScenario::ALL {
+            for n in [1_000, 4_000, 10_000] {
+                let p = s.params(n);
+                p.check().unwrap_or_else(|e| panic!("{s} at n={n}: {e}"));
+                assert_eq!(p.n, n);
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for s in GrowthScenario::ALL {
+            assert_eq!(GrowthScenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(
+            GrowthScenario::from_name("dense_core"),
+            Some(GrowthScenario::DenseCore)
+        );
+        assert_eq!(GrowthScenario::from_name("no such"), None);
+    }
+
+    #[test]
+    fn no_middle_removes_m_nodes() {
+        let p = GrowthScenario::NoMiddle.params(2_000);
+        assert_eq!(p.n_m, 0);
+        assert_eq!(p.n_t + p.n_cp + p.n_c, 2_000);
+    }
+
+    #[test]
+    fn rich_middle_triples_m_share() {
+        let p = GrowthScenario::RichMiddle.params(2_000);
+        assert_eq!(p.n_m, 900);
+    }
+
+    #[test]
+    fn static_middle_freezes_transit_population() {
+        let p5 = GrowthScenario::StaticMiddle.params(5_000);
+        let p10 = GrowthScenario::StaticMiddle.params(10_000);
+        assert_eq!(p5.n_t, 4);
+        assert_eq!(p5.n_m, 150);
+        assert_eq!(p10.n_t, 4);
+        assert_eq!(p10.n_m, 150);
+        assert!(p10.n_c > p5.n_c, "edge keeps growing");
+    }
+
+    #[test]
+    fn transit_clique_moves_all_transit_to_t() {
+        let p = GrowthScenario::TransitClique.params(2_000);
+        assert_eq!(p.n_t, 300);
+        assert_eq!(p.n_m, 0);
+    }
+
+    #[test]
+    fn dense_core_triples_only_dm() {
+        let b = GrowthScenario::Baseline.params(4_000);
+        let p = GrowthScenario::DenseCore.params(4_000);
+        assert!((p.d_m - 3.0 * b.d_m).abs() < 1e-12);
+        assert_eq!(p.d_c, b.d_c);
+        assert_eq!(p.d_cp, b.d_cp);
+    }
+
+    #[test]
+    fn dense_edge_triples_stub_mhd() {
+        let b = GrowthScenario::Baseline.params(4_000);
+        let p = GrowthScenario::DenseEdge.params(4_000);
+        assert!((p.d_c - 3.0 * b.d_c).abs() < 1e-12);
+        assert!((p.d_cp - 3.0 * b.d_cp).abs() < 1e-12);
+        assert_eq!(p.d_m, b.d_m);
+    }
+
+    #[test]
+    fn tree_pins_every_mhd_to_one() {
+        let p = GrowthScenario::Tree.params(3_000);
+        assert_eq!(p.d_m, 1.0);
+        assert_eq!(p.d_cp, 1.0);
+        assert_eq!(p.d_c, 1.0);
+    }
+
+    #[test]
+    fn constant_mhd_is_size_independent() {
+        let a = GrowthScenario::ConstantMhd.params(1_000);
+        let b = GrowthScenario::ConstantMhd.params(10_000);
+        assert_eq!(a.d_m, b.d_m);
+        assert_eq!(a.d_c, b.d_c);
+        assert_eq!(a.d_cp, b.d_cp);
+    }
+
+    #[test]
+    fn no_peering_zeroes_all_peering_knobs() {
+        let p = GrowthScenario::NoPeering.params(2_000);
+        assert_eq!(p.p_m, 0.0);
+        assert_eq!(p.p_cp_m, 0.0);
+        assert_eq!(p.p_cp_cp, 0.0);
+    }
+
+    #[test]
+    fn peering_deviations_scale_the_right_knobs() {
+        let b = GrowthScenario::Baseline.params(4_000);
+        let core = GrowthScenario::StrongCorePeering.params(4_000);
+        assert!((core.p_m - 2.0 * b.p_m).abs() < 1e-12);
+        assert_eq!(core.p_cp_m, b.p_cp_m);
+        let edge = GrowthScenario::StrongEdgePeering.params(4_000);
+        assert!((edge.p_cp_m - 3.0 * b.p_cp_m).abs() < 1e-12);
+        assert!((edge.p_cp_cp - 3.0 * b.p_cp_cp).abs() < 1e-12);
+        assert_eq!(edge.p_m, b.p_m);
+    }
+
+    #[test]
+    fn prefer_middle_zeroes_stub_t_probabilities_and_caps_t_providers() {
+        let p = GrowthScenario::PreferMiddle.params(2_000);
+        // The paper zeroes only the stub probabilities (tP = tC = 0); M
+        // nodes keep tM but may have at most one T provider.
+        assert_eq!(p.t_m, 0.375);
+        assert_eq!(p.t_cp, 0.0);
+        assert_eq!(p.t_c, 0.0);
+        assert_eq!(p.max_t_providers_for_m, Some(1));
+        assert_eq!(p.max_m_providers, None);
+    }
+
+    #[test]
+    fn prefer_top_caps_m_providers() {
+        let p = GrowthScenario::PreferTop.params(2_000);
+        assert_eq!(p.max_m_providers, Some(1));
+        // Baseline probabilities retained.
+        assert_eq!(p.t_m, 0.375);
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(GrowthScenario::StrongCorePeering.to_string(), "STRONG-CORE-PEERING");
+    }
+}

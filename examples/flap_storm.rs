@@ -1,0 +1,57 @@
+//! Flap storm vs Route Flap Damping (RFC 2439).
+//!
+//! A pathologically unstable stub withdraws and re-announces its prefix
+//! eight times in a row. Without damping, every cycle floods the whole
+//! network; with damping, routers near the instability absorb it after a
+//! few cycles — trading churn for temporary unreachability.
+//!
+//! ```sh
+//! cargo run --release --example flap_storm
+//! ```
+
+use bgpscale::bgp::rfd::RfdConfig;
+use bgpscale::core::flapstorm::{run_flap_storm, FlapStormConfig};
+use bgpscale::prelude::*;
+
+fn main() {
+    let n = 800;
+    let seed = 5;
+    let graph = generate(GrowthScenario::Baseline, n, seed);
+    let origin = graph
+        .node_ids()
+        .find(|&id| graph.node_type(id) == NodeType::C)
+        .unwrap();
+    let storm = FlapStormConfig::default();
+    println!(
+        "origin {origin} flaps its prefix {} times, one action every {}\n",
+        storm.flaps, storm.period
+    );
+
+    for (label, rfd) in [("without damping", None), ("with RFC 2439 damping", Some(RfdConfig::default()))] {
+        let bgp = BgpConfig {
+            rfd,
+            ..BgpConfig::default()
+        };
+        let mut sim = Simulator::new(graph.clone(), bgp, seed);
+        let outcome = run_flap_storm(&mut sim, origin, Prefix(0), &storm).expect("converges");
+        println!("{label}:");
+        println!("  network-wide updates        : {}", outcome.total_updates);
+        println!("  nodes holding damped routes : {}", outcome.suppressed_nodes);
+        println!(
+            "  unreachable right after storm: {}",
+            outcome.unreachable_after_storm
+        );
+        println!(
+            "  unreachable after reuse      : {}",
+            outcome.unreachable_after_reuse
+        );
+        println!();
+    }
+
+    println!(
+        "Reading: damping absorbs the instability close to its source — the \
+         rest of the network stops hearing about it — at the cost of keeping \
+         the flapping prefix suppressed (possibly unreachable) until the \
+         penalty decays below the reuse threshold."
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: generate a topology, run one C-event, inspect the churn.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bgpscale::prelude::*;
+
+fn main() {
+    // A Baseline topology with 1000 ASes (Table 1 of the paper).
+    let n = 1_000;
+    let seed = 42;
+    let graph = generate(GrowthScenario::Baseline, n, seed);
+    println!(
+        "generated {} ASes: {} T, {} M, {} CP, {} C; {} transit + {} peering links",
+        graph.len(),
+        graph.count_of_type(NodeType::T),
+        graph.count_of_type(NodeType::M),
+        graph.count_of_type(NodeType::Cp),
+        graph.count_of_type(NodeType::C),
+        graph.transit_link_count(),
+        graph.peer_link_count(),
+    );
+
+    // Pick a customer stub as the event originator.
+    let origin = graph
+        .node_ids()
+        .find(|&id| graph.node_type(id) == NodeType::C)
+        .expect("baseline topologies have C nodes");
+
+    // Simulate one C-event: announce (warm-up), withdraw, re-announce.
+    let mut sim = Simulator::new(graph, BgpConfig::default(), seed);
+    let outcome = run_c_event(&mut sim, origin, Prefix(0)).expect("converges");
+
+    println!("\nC-event at {origin}:");
+    println!("  total updates delivered : {}", outcome.total_updates);
+    println!("  withdrawals among them  : {}", outcome.withdrawals);
+    println!("  DOWN convergence        : {}", outcome.down_convergence);
+    println!("  UP convergence          : {}", outcome.up_convergence);
+
+    // Who heard the most? Use the per-node counters.
+    let mut loudest: Vec<(AsId, u64)> = sim
+        .graph()
+        .node_ids()
+        .map(|id| (id, sim.churn().node_total(id)))
+        .collect();
+    loudest.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\nmost-churned ASes:");
+    for &(id, count) in loudest.iter().take(5) {
+        println!(
+            "  {id} ({}) received {count} updates",
+            sim.graph().node_type(id)
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Churn concentration: the paper cites Broido et al. — "a small fraction
+//! of ASes is responsible for most of the churn seen in the Internet."
+//! In our model the *receivers* of churn are likewise concentrated: the
+//! hierarchy funnels updates through well-connected transit nodes. These
+//! tests quantify that with the Gini coefficient over per-node received
+//! updates.
+
+use bgpscale::prelude::*;
+use bgpscale::stats::gini;
+
+fn per_node_churn(n: usize, seed: u64) -> Vec<f64> {
+    let graph = generate(GrowthScenario::Baseline, n, seed);
+    let origins: Vec<_> = graph
+        .node_ids()
+        .filter(|&id| graph.node_type(id) == NodeType::C)
+        .take(5)
+        .collect();
+    let mut sim = Simulator::new(graph, BgpConfig::default(), seed);
+    let mut totals = vec![0u64; sim.graph().len()];
+    for (i, &o) in origins.iter().enumerate() {
+        run_c_event(&mut sim, o, Prefix(i as u32)).unwrap();
+        for id in sim.graph().node_ids() {
+            totals[id.index()] += sim.churn().node_total(id);
+        }
+        sim.reset_routing();
+        sim.churn_mut().reset();
+    }
+    totals.into_iter().map(|t| t as f64).collect()
+}
+
+#[test]
+fn received_churn_is_concentrated() {
+    let churn = per_node_churn(400, 11);
+    let g = gini(&churn);
+    // Every AS hears about every event at least twice (DOWN + UP), which
+    // puts a floor under the distribution; the transit hierarchy still
+    // skews it visibly above uniform (gini 0).
+    assert!(
+        g > 0.15,
+        "churn should concentrate in the transit hierarchy, gini = {g}"
+    );
+}
+
+#[test]
+fn concentration_does_not_collapse_with_size() {
+    // The hierarchy keeps funneling updates through the core as the
+    // network grows: concentration stays high.
+    let small = gini(&per_node_churn(250, 12));
+    let large = gini(&per_node_churn(600, 12));
+    assert!(small > 0.15 && large > 0.15, "gini {small} → {large}");
+}
+
+#[test]
+fn top_decile_receives_disproportionate_share() {
+    let mut churn = per_node_churn(500, 13);
+    churn.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let total: f64 = churn.iter().sum();
+    let top_decile: f64 = churn.iter().take(churn.len() / 10).sum();
+    let share = top_decile / total;
+    assert!(
+        share > 0.15,
+        "top 10% of ASes should receive well over their uniform 10% share, got {:.0}%",
+        share * 100.0
+    );
+}
