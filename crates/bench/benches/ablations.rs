@@ -13,7 +13,7 @@ use bgpscale_bench::{fixture, one_c_event, Fixture};
 use bgpscale_bgp::config::ServiceTimeModel;
 use bgpscale_bgp::{BgpConfig, MraiMode, MraiScope};
 use bgpscale_simkernel::SimDuration;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bgpscale_bench::harness::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn report_once(label: &str, fix: &Fixture, cfg: &BgpConfig, once: &Once) {

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use bgpscale_bench::micro_config;
 use bgpscale_experiments::{figures, Sweeper};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bgpscale_bench::harness::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_figures(c: &mut Criterion) {

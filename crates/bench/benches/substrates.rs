@@ -10,7 +10,7 @@ use bgpscale_simkernel::{EventQueue, SimTime};
 use bgpscale_topology::metrics::{avg_valley_free_path_length, clustering_coefficient};
 use bgpscale_topology::valley::valley_free_distances;
 use bgpscale_topology::{generate, AsId, GrowthScenario, Relationship};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bgpscale_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -69,7 +69,7 @@ fn bench_decision(c: &mut Criterion) {
                 1 => Relationship::Peer,
                 _ => Relationship::Provider,
             },
-            path,
+            path: path.as_slice(),
         })
         .collect();
     g.bench_function("select_best_1500_candidates", |b| {

@@ -14,6 +14,8 @@
 //!   MRAI value sweep, sender-side vs receiver-side loop detection,
 //!   uniform vs constant service times, WRATE vs NO-WRATE.
 
+pub mod harness;
+
 use bgpscale_bgp::{BgpConfig, Prefix};
 use bgpscale_core::cevent::run_c_event;
 use bgpscale_core::Simulator;

@@ -6,7 +6,6 @@ use crate::rfd::RfdConfig;
 
 /// How the MRAI timer treats explicit withdrawals (§2 of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MraiMode {
     /// RFC 1771 behavior (and Quagga's): explicit withdrawals are **not**
     /// rate-limited — they are sent the moment they are generated, and do
@@ -40,7 +39,6 @@ impl MraiMode {
 /// adopt this approach in our model."* — both are available here; the
 /// paper's configuration is the default).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MraiScope {
     /// One timer per neighbor session, governing all prefixes (vendor
     /// practice; the paper's model).
@@ -62,7 +60,6 @@ impl MraiScope {
 
 /// How per-message processing (service) times are drawn.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ServiceTimeModel {
     /// Uniform over `(0, proc_delay_max]` — the paper's model.
     Uniform,
@@ -73,7 +70,6 @@ pub enum ServiceTimeModel {
 
 /// All protocol timing knobs, with defaults matching §2 of the paper.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BgpConfig {
     /// The Minimum Route Advertisement Interval, applied per neighbor
     /// interface (as vendors implement it, not per prefix). Default 30 s.
@@ -194,8 +190,10 @@ mod tests {
 
     #[test]
     fn check_rejects_bad_jitter() {
-        let mut c = BgpConfig::default();
-        c.mrai_jitter = (0.0, 1.0);
+        let mut c = BgpConfig {
+            mrai_jitter: (0.0, 1.0),
+            ..Default::default()
+        };
         assert!(c.check().is_err());
         c.mrai_jitter = (0.9, 0.5);
         assert!(c.check().is_err());
@@ -205,8 +203,10 @@ mod tests {
 
     #[test]
     fn check_rejects_zero_processing_time() {
-        let mut c = BgpConfig::default();
-        c.proc_delay_max = SimDuration::ZERO;
+        let c = BgpConfig {
+            proc_delay_max: SimDuration::ZERO,
+            ..Default::default()
+        };
         assert!(c.check().is_err());
     }
 }

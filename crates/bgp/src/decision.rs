@@ -16,10 +16,13 @@
 use bgpscale_simkernel::rng::hash64;
 use bgpscale_topology::{AsId, Relationship};
 
-use crate::message::AsPath;
 use crate::policy::{local_pref, RouteSource};
 
 /// One candidate route in the decision process.
+///
+/// Borrows the hops as a plain slice so that callers can pass either an
+/// interned [`crate::message::AsPath`] (via deref) or a raw `Vec<AsId>`
+/// without converting.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Candidate<'a> {
     /// The neighbor the route was learned from (the next hop).
@@ -27,7 +30,7 @@ pub struct Candidate<'a> {
     /// Our relationship to that neighbor.
     pub rel: Relationship,
     /// The AS path as received (neighbor first, origin last).
-    pub path: &'a AsPath,
+    pub path: &'a [AsId],
 }
 
 /// The totally ordered preference key of a candidate. Larger keys win.
@@ -60,7 +63,7 @@ pub fn select_best(candidates: &[Candidate<'_>]) -> Option<usize> {
 mod tests {
     use super::*;
 
-    fn cand(neighbor: u32, rel: Relationship, path: &AsPath) -> Candidate<'_> {
+    fn cand(neighbor: u32, rel: Relationship, path: &[AsId]) -> Candidate<'_> {
         Candidate {
             neighbor: AsId(neighbor),
             rel,
@@ -70,9 +73,9 @@ mod tests {
 
     #[test]
     fn customer_beats_shorter_peer_and_provider() {
-        let long_cust: AsPath = vec![AsId(1), AsId(2), AsId(3), AsId(4)];
-        let short_peer: AsPath = vec![AsId(5)];
-        let short_prov: AsPath = vec![AsId(6)];
+        let long_cust: Vec<AsId> = vec![AsId(1), AsId(2), AsId(3), AsId(4)];
+        let short_peer: Vec<AsId> = vec![AsId(5)];
+        let short_prov: Vec<AsId> = vec![AsId(6)];
         let cands = vec![
             cand(5, Relationship::Peer, &short_peer),
             cand(1, Relationship::Customer, &long_cust),
@@ -83,8 +86,8 @@ mod tests {
 
     #[test]
     fn peer_beats_provider() {
-        let p1: AsPath = vec![AsId(5), AsId(9)];
-        let p2: AsPath = vec![AsId(6)];
+        let p1: Vec<AsId> = vec![AsId(5), AsId(9)];
+        let p2: Vec<AsId> = vec![AsId(6)];
         let cands = vec![
             cand(6, Relationship::Provider, &p2),
             cand(5, Relationship::Peer, &p1),
@@ -94,8 +97,8 @@ mod tests {
 
     #[test]
     fn shorter_path_wins_within_same_pref_class() {
-        let short: AsPath = vec![AsId(1), AsId(9)];
-        let long: AsPath = vec![AsId(2), AsId(8), AsId(9)];
+        let short: Vec<AsId> = vec![AsId(1), AsId(9)];
+        let long: Vec<AsId> = vec![AsId(2), AsId(8), AsId(9)];
         let cands = vec![
             cand(2, Relationship::Customer, &long),
             cand(1, Relationship::Customer, &short),
@@ -105,8 +108,8 @@ mod tests {
 
     #[test]
     fn hash_tiebreak_is_deterministic_and_consistent() {
-        let a: AsPath = vec![AsId(10), AsId(9)];
-        let b: AsPath = vec![AsId(20), AsId(9)];
+        let a: Vec<AsId> = vec![AsId(10), AsId(9)];
+        let b: Vec<AsId> = vec![AsId(20), AsId(9)];
         let cands = vec![
             cand(10, Relationship::Peer, &a),
             cand(20, Relationship::Peer, &b),
@@ -129,7 +132,7 @@ mod tests {
 
     #[test]
     fn single_candidate_wins() {
-        let p: AsPath = vec![AsId(1)];
+        let p: Vec<AsId> = vec![AsId(1)];
         assert_eq!(select_best(&[cand(1, Relationship::Provider, &p)]), Some(0));
     }
 
@@ -138,8 +141,8 @@ mod tests {
         // Distinct neighbors always produce distinct keys (the raw-id
         // fallback guarantees it), so the decision is a strict total
         // order within one candidate set.
-        let p: AsPath = vec![AsId(1)];
-        let q: AsPath = vec![AsId(2)];
+        let p: Vec<AsId> = vec![AsId(1)];
+        let q: Vec<AsId> = vec![AsId(2)];
         let a = cand(1, Relationship::Peer, &p);
         let b = cand(2, Relationship::Peer, &q);
         assert_ne!(preference_key(&a), preference_key(&b));

@@ -6,6 +6,8 @@
 //! one unit of churn, exactly as in the paper's measurements.
 
 use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
 
 use bgpscale_topology::AsId;
 
@@ -13,7 +15,6 @@ use bgpscale_topology::AsId;
 /// prefix is an opaque identifier; library users announcing real address
 /// blocks can maintain their own mapping.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Prefix(pub u32);
 
 impl fmt::Debug for Prefix {
@@ -30,11 +31,87 @@ impl fmt::Display for Prefix {
 
 /// An AS path: the sequence of ASes a route has traversed, **nearest AS
 /// first, origin last**. A node prepends its own id when exporting.
-pub type AsPath = Vec<AsId>;
+///
+/// Interned behind an `Arc<[AsId]>`: once built, a path is immutable and
+/// [`Clone`] is a reference-count bump. This matters on the per-update hot
+/// path — a single best-route change fans the same export path out to every
+/// neighbor queue, and each RIB install, Adj-RIB-out entry, and wire
+/// message shares one allocation instead of copying the hop list.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AsPath(Arc<[AsId]>);
+
+impl AsPath {
+    /// The empty path (self-originated routes). Allocation-free: all empty
+    /// paths share one static backing buffer.
+    pub fn new() -> AsPath {
+        static EMPTY: OnceLock<Arc<[AsId]>> = OnceLock::new();
+        AsPath(EMPTY.get_or_init(|| Arc::from([])).clone())
+    }
+
+    /// Builds the export path `head · tail` (ourselves prepended to the
+    /// best path) in a single pass.
+    pub fn prepended(head: AsId, tail: &[AsId]) -> AsPath {
+        let mut hops = Vec::with_capacity(tail.len() + 1);
+        hops.push(head);
+        hops.extend_from_slice(tail);
+        AsPath(hops.into())
+    }
+
+    /// The hops as a slice (also available through [`Deref`]).
+    pub fn as_slice(&self) -> &[AsId] {
+        &self.0
+    }
+}
+
+impl Default for AsPath {
+    fn default() -> Self {
+        AsPath::new()
+    }
+}
+
+impl Deref for AsPath {
+    type Target = [AsId];
+
+    fn deref(&self) -> &[AsId] {
+        &self.0
+    }
+}
+
+impl From<Vec<AsId>> for AsPath {
+    fn from(hops: Vec<AsId>) -> AsPath {
+        AsPath(hops.into())
+    }
+}
+
+impl From<&[AsId]> for AsPath {
+    fn from(hops: &[AsId]) -> AsPath {
+        AsPath(hops.into())
+    }
+}
+
+impl FromIterator<AsId> for AsPath {
+    fn from_iter<I: IntoIterator<Item = AsId>>(iter: I) -> AsPath {
+        AsPath(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a AsPath {
+    type Item = &'a AsId;
+    type IntoIter = std::slice::Iter<'a, AsId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.0.iter()).finish()
+    }
+}
 
 /// The payload of an UPDATE message.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum UpdateKind {
     /// The sender announces reachability with the given AS path (the
     /// sender itself is the first path element).
@@ -65,7 +142,6 @@ impl UpdateKind {
 
 /// One UPDATE message concerning one prefix.
 #[derive(Clone, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Update {
     /// The prefix the message is about.
     pub prefix: Prefix,
@@ -74,11 +150,13 @@ pub struct Update {
 }
 
 impl Update {
-    /// Convenience constructor for an announcement.
-    pub fn announce(prefix: Prefix, path: AsPath) -> Update {
+    /// Convenience constructor for an announcement. Accepts anything
+    /// convertible to an [`AsPath`] (a `Vec<AsId>`, a slice, or an
+    /// already-interned path, which is reused without copying).
+    pub fn announce(prefix: Prefix, path: impl Into<AsPath>) -> Update {
         Update {
             prefix,
-            kind: UpdateKind::Announce(path),
+            kind: UpdateKind::Announce(path.into()),
         }
     }
 
@@ -120,10 +198,34 @@ mod tests {
         let a = Update::announce(Prefix(1), vec![AsId(2), AsId(3)]);
         assert!(a.kind.is_announce());
         assert!(!a.kind.is_withdraw());
-        assert_eq!(a.kind.path(), Some(&vec![AsId(2), AsId(3)]));
+        assert_eq!(a.kind.path(), Some(&AsPath::from(vec![AsId(2), AsId(3)])));
         let w = Update::withdraw(Prefix(1));
         assert!(w.kind.is_withdraw());
         assert_eq!(w.kind.path(), None);
+    }
+
+    #[test]
+    fn path_clone_shares_the_backing_buffer() {
+        let a = AsPath::from(vec![AsId(1), AsId(2)]);
+        let b = a.clone();
+        assert!(std::sync::Arc::ptr_eq(&a.0, &b.0), "clone must not copy hops");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_paths_share_one_static_buffer() {
+        let a = AsPath::new();
+        let b = AsPath::default();
+        assert!(std::sync::Arc::ptr_eq(&a.0, &b.0));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn prepended_builds_the_export_path() {
+        let tail = AsPath::from(vec![AsId(5), AsId(9)]);
+        let export = AsPath::prepended(AsId(1), &tail);
+        assert_eq!(export.as_slice(), &[AsId(1), AsId(5), AsId(9)]);
+        assert_eq!(AsPath::prepended(AsId(3), &[]).as_slice(), &[AsId(3)]);
     }
 
     #[test]

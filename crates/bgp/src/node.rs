@@ -450,9 +450,7 @@ impl BgpNode {
             {
                 continue;
             }
-            let mut export_path = AsPath::with_capacity(path.len() + 1);
-            export_path.push(self.id);
-            export_path.extend_from_slice(&path);
+            let export_path = AsPath::prepended(self.id, &path);
             // The initial table exchange is not rate-limited; MRAI governs
             // subsequent updates only.
             if let Some(update) = self.out[slot as usize].send_unlimited(prefix, export_path) {
@@ -549,7 +547,7 @@ impl BgpNode {
                 let cand = crate::decision::Candidate {
                     neighbor: self.sessions[i].peer,
                     rel: self.sessions[i].rel,
-                    path,
+                    path: path.as_slice(),
                 };
                 let better = match winner {
                     None => true,
@@ -557,7 +555,7 @@ impl BgpNode {
                         let wcand = crate::decision::Candidate {
                             neighbor: self.sessions[wslot as usize].peer,
                             rel: self.sessions[wslot as usize].rel,
-                            path: wpath,
+                            path: wpath.as_slice(),
                         };
                         preference_key(&cand) > preference_key(&wcand)
                     }
@@ -598,9 +596,8 @@ impl BgpNode {
                     RouteSource::Learned(self.sessions[best.slot as usize].rel)
                 };
                 // The exported path: ourselves prepended to the best path.
-                let mut export_path = AsPath::with_capacity(best.path.len() + 1);
-                export_path.push(self.id);
-                export_path.extend_from_slice(&best.path);
+                // Built once; every queue below shares it by refcount.
+                let export_path = AsPath::prepended(self.id, &best.path);
                 for slot in 0..self.sessions.len() as u32 {
                     if !self.active[slot as usize] {
                         continue;
@@ -664,7 +661,7 @@ mod tests {
         assert_eq!(sends_to(&a), vec![0, 1, 2]);
         assert_eq!(a.arm_timers, vec![0, 1, 2]);
         for (_, u) in &a.sends {
-            assert_eq!(u.kind.path(), Some(&vec![AsId(0)]), "path is just the origin");
+            assert_eq!(u.kind.path(), Some(&AsPath::from(vec![AsId(0)])), "path is just the origin");
         }
         assert_eq!(n.best_route(P), Some((None, &AsPath::new())));
     }
@@ -677,7 +674,7 @@ mod tests {
         // customer (loop detection: AS1 is on the path).
         assert_eq!(sends_to(&a), vec![1, 2]);
         let (_, u) = &a.sends[0];
-        assert_eq!(u.kind.path(), Some(&vec![AsId(0), AsId(1), AsId(9)]));
+        assert_eq!(u.kind.path(), Some(&AsPath::from(vec![AsId(0), AsId(1), AsId(9)])));
         assert_eq!(n.best_route(P).unwrap().0, Some(AsId(1)));
     }
 
@@ -962,9 +959,9 @@ mod tests {
         let mut t = SimTime::from_secs(1);
         for _ in 0..3 {
             n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), t);
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
             n.handle_update_at(AsId(1), Update::withdraw(P), t);
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         // Withdrawal(1000) ×3 + readvert(1000) ×2 ≫ suppress threshold.
         assert!(n.is_suppressed(0, P));
@@ -989,12 +986,12 @@ mod tests {
         let mut wake = None;
         for _ in 0..4 {
             n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), t);
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
             let a = n.handle_update_at(AsId(1), Update::withdraw(P), t);
             if let Some(&(_, _, at)) = a.rfd_wakeups.last() {
                 wake = Some(at);
             }
-            t = t + SimDuration::from_secs(1);
+            t += SimDuration::from_secs(1);
         }
         // Final state: suppressed, route re-announced and stored.
         n.handle_update_at(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]), t);
@@ -1052,7 +1049,7 @@ mod tests {
         n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
         assert_eq!(
             n.advertised(1, P),
-            Some(&vec![AsId(0), AsId(1), AsId(9)])
+            Some(&AsPath::from(vec![AsId(0), AsId(1), AsId(9)]))
         );
         assert_eq!(n.advertised(0, P), None, "never sent back to learner");
         assert!(n.timer_armed(1));

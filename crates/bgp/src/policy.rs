@@ -12,7 +12,6 @@ use bgpscale_topology::{AsId, Relationship};
 
 /// Where a node's best route for a prefix comes from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RouteSource {
     /// The node originates the prefix itself.
     SelfOriginated,

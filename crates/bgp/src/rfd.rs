@@ -21,7 +21,6 @@ use bgpscale_simkernel::{SimDuration, SimTime};
 /// attribute change 500, suppress at 2000, reuse at 750, 15-minute
 /// half-life, penalty ceiling from a 60-minute maximum suppress time.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RfdConfig {
     /// Penalty added when the neighbor withdraws the route.
     pub withdraw_penalty: f64,

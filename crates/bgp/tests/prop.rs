@@ -17,7 +17,7 @@ fn rel_strategy() -> impl Strategy<Value = Relationship> {
 }
 
 fn path_strategy() -> impl Strategy<Value = AsPath> {
-    prop::collection::vec((0u32..1000).prop_map(AsId), 1..8)
+    prop::collection::vec((0u32..1000).prop_map(AsId), 1..8).prop_map(AsPath::from)
 }
 
 proptest! {
@@ -36,7 +36,7 @@ proptest! {
             .collect();
         let cands: Vec<Candidate<'_>> = entries
             .iter()
-            .map(|(id, rel, path)| Candidate { neighbor: AsId(*id), rel: *rel, path })
+            .map(|(id, rel, path)| Candidate { neighbor: AsId(*id), rel: *rel, path: path.as_slice() })
             .collect();
         let winner = select_best(&cands).unwrap();
         let winner_id = cands[winner].neighbor;
@@ -61,8 +61,8 @@ proptest! {
         other_rel in prop::sample::select(vec![Relationship::Peer, Relationship::Provider]),
     ) {
         let cands = vec![
-            Candidate { neighbor: AsId(1), rel: Relationship::Customer, path: &cust_path },
-            Candidate { neighbor: AsId(2), rel: other_rel, path: &other_path },
+            Candidate { neighbor: AsId(1), rel: Relationship::Customer, path: cust_path.as_slice() },
+            Candidate { neighbor: AsId(2), rel: other_rel, path: other_path.as_slice() },
         ];
         prop_assert_eq!(select_best(&cands), Some(0));
     }
@@ -99,7 +99,7 @@ proptest! {
         };
 
         for (prefix, path_id, flush_after) in script {
-            let path: Option<AsPath> = path_id.map(|k| vec![AsId(100 + k), AsId(999)]);
+            let path: Option<AsPath> = path_id.map(|k| AsPath::from(vec![AsId(100 + k), AsId(999)]));
             intent.insert(prefix, path.clone());
             match q.submit(prefix, path, mode) {
                 Submit::SendNow { update, .. } => apply(&mut neighbor, update)?,

@@ -24,7 +24,7 @@ proptest! {
         let mut s = DampState::default();
         let mut now = SimTime::ZERO;
         for (kind, gap_s) in script {
-            now = now + SimDuration::from_secs(gap_s);
+            now += SimDuration::from_secs(gap_s);
             s.charge(kind, now, &cfg);
             prop_assert!(s.penalty >= 0.0);
             prop_assert!(s.penalty <= cfg.max_penalty + 1e-9);
@@ -109,7 +109,7 @@ proptest! {
         for _ in 0..flaps {
             burst.charge(FlapKind::Withdrawal, t0, &cfg);
             spread.charge(FlapKind::Withdrawal, t, &cfg);
-            t = t + SimDuration::from_secs(gap_s);
+            t += SimDuration::from_secs(gap_s);
         }
         // `penalty` is current as of each state's own last charge.
         prop_assert!(

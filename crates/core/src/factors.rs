@@ -90,7 +90,7 @@ pub fn node_factors(sim: &Simulator, node: AsId) -> NodeFactors {
 /// `m`, `q`, `e`, `u` are the quantities plotted in Figs. 5–7: per-node
 /// values averaged over all `(node of this type, event)` pairs for which
 /// they are defined (`q` needs `m > 0`; `e` needs an active neighbor).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FactorMeans {
     /// Mean neighbor count `m_{y,X}`.
     pub m: f64,
@@ -170,6 +170,31 @@ impl FactorAccumulator {
                 self.e_cnt[t][r] += 1;
             }
             self.u_sum[t][r] += f.updates[r] as f64;
+        }
+    }
+
+    /// Folds another accumulator's samples into this one.
+    ///
+    /// Used by the parallel harness: each C-event produces a partial
+    /// accumulator, and the partials are merged **in event-index order**
+    /// so that the final f64 sums are independent of worker scheduling.
+    /// `merge` adds the partial's sums as-is, so
+    /// `a.merge(&b)` after `b.add(..)` equals calling `a.add(..)` with the
+    /// same samples only when each partial holds one event — which is
+    /// exactly how the harness uses it.
+    pub fn merge(&mut self, other: &FactorAccumulator) {
+        for t in 0..4 {
+            self.u_total_sum[t] += other.u_total_sum[t];
+            self.samples[t] += other.samples[t];
+            for r in 0..3 {
+                self.m_sum[t][r] += other.m_sum[t][r];
+                self.m_cnt[t][r] += other.m_cnt[t][r];
+                self.q_sum[t][r] += other.q_sum[t][r];
+                self.q_cnt[t][r] += other.q_cnt[t][r];
+                self.e_sum[t][r] += other.e_sum[t][r];
+                self.e_cnt[t][r] += other.e_cnt[t][r];
+                self.u_sum[t][r] += other.u_sum[t][r];
+            }
         }
     }
 
@@ -268,6 +293,30 @@ mod tests {
         // No peer samples ever defined.
         let peer = acc.means(NodeType::T, Relationship::Peer);
         assert_eq!(peer.e, 0.0);
+    }
+
+    #[test]
+    fn merge_of_singleton_partials_equals_direct_adds() {
+        let samples = [
+            NodeFactors { m: [2, 1, 0], active: [2, 0, 0], updates: [4, 0, 0] },
+            NodeFactors { m: [4, 0, 2], active: [1, 0, 2], updates: [2, 0, 6] },
+            NodeFactors { m: [1, 1, 1], active: [1, 1, 1], updates: [3, 1, 2] },
+        ];
+        let mut direct = FactorAccumulator::new();
+        for f in &samples {
+            direct.add(NodeType::M, f);
+        }
+        let mut merged = FactorAccumulator::new();
+        for f in &samples {
+            let mut partial = FactorAccumulator::new();
+            partial.add(NodeType::M, f);
+            merged.merge(&partial);
+        }
+        assert_eq!(merged.samples(NodeType::M), direct.samples(NodeType::M));
+        assert_eq!(merged.mean_total(NodeType::M), direct.mean_total(NodeType::M));
+        for rel in Relationship::ALL {
+            assert_eq!(merged.means(NodeType::M, rel), direct.means(NodeType::M, rel));
+        }
     }
 
     #[test]

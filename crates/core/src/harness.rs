@@ -9,14 +9,30 @@
 //! distinct C-type originators, folds each event's churn counters into the
 //! m/q/e factor accumulator, and reports per-type means plus the raw
 //! per-event series needed for confidence intervals.
+//!
+//! ## Determinism under parallelism
+//!
+//! Events are **independent by construction**: the topology is generated
+//! once and shared read-only (`Arc<AsGraph>` inside a [`SimTemplate`]),
+//! and event `k` runs on a fresh simulator seeded with
+//! `hash64_pair(sim_seed, k)` — no RNG stream, RIB state, or clock is
+//! carried from one event to the next. [`run_experiment_jobs`] therefore
+//! fans events out across a worker pool and folds the per-event
+//! measurements back **in event-index order**, so the report is
+//! bit-for-bit identical for any job count (f64 accumulation order never
+//! changes). `jobs = 1` takes a plain sequential loop over the identical
+//! per-event code.
+
+use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, Prefix};
+use bgpscale_simkernel::pool::run_indexed;
 use bgpscale_simkernel::rng::{hash64_pair, Rng, Xoshiro256StarStar};
 use bgpscale_topology::{generate, AsId, GrowthScenario, NodeType, Relationship};
 
 use crate::cevent::run_c_event;
 use crate::factors::{node_factors, type_index, FactorAccumulator, FactorMeans};
-use crate::sim::Simulator;
+use crate::sim::SimTemplate;
 
 /// Everything needed to reproduce one experiment cell.
 #[derive(Clone, Debug)]
@@ -35,7 +51,7 @@ pub struct ExperimentConfig {
 }
 
 /// Churn summary for one node type.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TypeChurn {
     /// Number of nodes of this type in the topology.
     pub node_count: usize,
@@ -49,7 +65,7 @@ pub struct TypeChurn {
 }
 
 /// The result of [`run_experiment`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChurnReport {
     /// The configuration that produced this report.
     pub scenario: GrowthScenario,
@@ -86,19 +102,92 @@ impl ChurnReport {
     }
 }
 
+/// Everything one C-event contributes to the report: a partial factor
+/// accumulator plus the event-level scalars. Computed independently per
+/// event (possibly on a worker thread), folded in event-index order.
+struct EventMeasurement {
+    acc: FactorAccumulator,
+    /// Per-type mean `U(X)` for this event, `None` when the topology has
+    /// no observing node of the type.
+    event_u: [Option<f64>; 4],
+    total_updates: f64,
+    down_s: f64,
+    up_s: f64,
+}
+
+/// Runs C-event `k` from `origin` on a fresh simulator stamped from the
+/// shared template, and measures it. Pure function of its arguments —
+/// the property the parallel fan-out relies on.
+fn measure_event(
+    cfg: &ExperimentConfig,
+    template: &SimTemplate,
+    node_types: &[NodeType],
+    origin: AsId,
+    k: usize,
+    sim_seed: u64,
+) -> EventMeasurement {
+    let mut sim = template.instantiate(hash64_pair(sim_seed, k as u64));
+    let outcome = run_c_event(&mut sim, origin, Prefix(k as u32))
+        .unwrap_or_else(|e| panic!("{} n={} event {k}: {e}", cfg.scenario, cfg.n));
+
+    let mut acc = FactorAccumulator::new();
+    let mut event_u_sum = [0.0f64; 4];
+    let mut event_u_cnt = [0u64; 4];
+    for (id, &ty) in node_types.iter().enumerate() {
+        let node = AsId(id as u32);
+        if node == origin {
+            continue; // the originator causes the event, it does not observe it
+        }
+        let f = node_factors(&sim, node);
+        let t = type_index(ty);
+        acc.add(ty, &f);
+        event_u_sum[t] += f.total_updates() as f64;
+        event_u_cnt[t] += 1;
+    }
+    let mut event_u = [None; 4];
+    for t in 0..4 {
+        if event_u_cnt[t] > 0 {
+            event_u[t] = Some(event_u_sum[t] / event_u_cnt[t] as f64);
+        }
+    }
+    EventMeasurement {
+        acc,
+        event_u,
+        total_updates: outcome.total_updates as f64,
+        down_s: outcome.down_convergence.as_secs_f64(),
+        up_s: outcome.up_convergence.as_secs_f64(),
+    }
+}
+
 /// Runs the full averaged C-event experiment for one configuration.
 ///
-/// Deterministic: equal configs produce equal reports.
+/// Deterministic: equal configs produce equal reports. Equivalent to
+/// [`run_experiment_jobs`] with `jobs = 1`.
 ///
 /// # Panics
 /// Panics if the topology contains no C nodes (every paper scenario has
 /// them) or if a phase exceeds the simulator's event budget.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ChurnReport {
+    run_experiment_jobs(cfg, 1)
+}
+
+/// Runs the experiment with up to `jobs` C-events in flight at once.
+///
+/// The report is **bit-for-bit identical for every `jobs` value**
+/// (including 1): the topology is generated once, event `k` always runs
+/// on a fresh simulator seeded `hash64_pair(sim_seed, k)`, and per-event
+/// measurements are folded in event-index order regardless of which
+/// worker finishes first. `jobs = 1` executes a plain sequential loop —
+/// no threads are spawned.
+///
+/// # Panics
+/// As [`run_experiment`].
+pub fn run_experiment_jobs(cfg: &ExperimentConfig, jobs: usize) -> ChurnReport {
     let topo_seed = hash64_pair(cfg.seed, 0x7090);
     let sim_seed = hash64_pair(cfg.seed, 0x51B);
     let pick_seed = hash64_pair(cfg.seed, 0x0121);
 
-    let graph = generate(cfg.scenario, cfg.n, topo_seed);
+    let graph = Arc::new(generate(cfg.scenario, cfg.n, topo_seed));
     let node_counts: [usize; 4] = [
         graph.count_of_type(NodeType::T),
         graph.count_of_type(NodeType::M),
@@ -114,42 +203,30 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ChurnReport {
     pick_rng.shuffle(&mut c_nodes);
     c_nodes.truncate(cfg.events.max(1));
 
-    let mut sim = Simulator::new(graph, cfg.bgp.clone(), sim_seed);
+    // Build the clean simulator blueprint once; every event (on any
+    // worker) stamps its own instance from it.
+    let template = SimTemplate::new(Arc::clone(&graph), cfg.bgp.clone());
+
+    let measurements: Vec<EventMeasurement> = run_indexed(jobs, c_nodes.len(), |k| {
+        measure_event(cfg, &template, &node_types, c_nodes[k], k, sim_seed)
+    });
+
+    // Ordered fold: event-index order fixes the f64 accumulation order.
     let mut acc = FactorAccumulator::new();
     let mut per_event_u: [Vec<f64>; 4] = Default::default();
     let mut total_updates_sum = 0.0;
     let mut down_sum = 0.0;
     let mut up_sum = 0.0;
-
-    for (k, &origin) in c_nodes.iter().enumerate() {
-        let outcome = run_c_event(&mut sim, origin, Prefix(k as u32))
-            .unwrap_or_else(|e| panic!("{} n={} event {k}: {e}", cfg.scenario, cfg.n));
-        total_updates_sum += outcome.total_updates as f64;
-        down_sum += outcome.down_convergence.as_secs_f64();
-        up_sum += outcome.up_convergence.as_secs_f64();
-
-        // Fold per-node factors; track per-event per-type means.
-        let mut event_u_sum = [0.0f64; 4];
-        let mut event_u_cnt = [0u64; 4];
-        for (id, &ty) in node_types.iter().enumerate() {
-            let node = AsId(id as u32);
-            if node == origin {
-                continue; // the originator causes the event, it does not observe it
-            }
-            let f = node_factors(&sim, node);
-            let t = type_index(ty);
-            acc.add(ty, &f);
-            event_u_sum[t] += f.total_updates() as f64;
-            event_u_cnt[t] += 1;
-        }
-        for t in 0..4 {
-            if event_u_cnt[t] > 0 {
-                per_event_u[t].push(event_u_sum[t] / event_u_cnt[t] as f64);
+    for m in &measurements {
+        acc.merge(&m.acc);
+        for (series, u) in per_event_u.iter_mut().zip(&m.event_u) {
+            if let Some(u) = u {
+                series.push(*u);
             }
         }
-
-        sim.reset_routing();
-        sim.churn_mut().reset();
+        total_updates_sum += m.total_updates;
+        down_sum += m.down_s;
+        up_sum += m.up_s;
     }
 
     let events = c_nodes.len();
@@ -201,6 +278,30 @@ mod tests {
         let b = quick(GrowthScenario::Baseline, 200, 3, 11);
         assert_eq!(a.mean_total_updates, b.mean_total_updates);
         assert_eq!(a.by_type(NodeType::T).u_total, b.by_type(NodeType::T).u_total);
+    }
+
+    /// The parallel-engine regression test: any job count yields the
+    /// bit-identical report, down to the raw per-event series.
+    #[test]
+    fn parallel_jobs_are_bit_identical_to_sequential() {
+        let cfg = ExperimentConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 200,
+            events: 6,
+            seed: 0xDE7,
+            bgp: BgpConfig::default(),
+        };
+        let sequential = run_experiment_jobs(&cfg, 1);
+        for jobs in [4, 8] {
+            let parallel = run_experiment_jobs(&cfg, jobs);
+            assert_eq!(sequential, parallel, "jobs={jobs} diverged from sequential");
+            for t in 0..4 {
+                assert_eq!(
+                    sequential.types[t].per_event_u, parallel.types[t].per_event_u,
+                    "per-event series diverged for type {t} at jobs={jobs}"
+                );
+            }
+        }
     }
 
     #[test]

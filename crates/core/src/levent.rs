@@ -85,7 +85,7 @@ pub fn run_l_event(
 mod tests {
     use super::*;
     use bgpscale_bgp::BgpConfig;
-    use bgpscale_topology::{generate, GrowthScenario, NodeType, RegionSet, Relationship};
+    use bgpscale_topology::{generate, GrowthScenario, NodeType, RegionSet};
     use bgpscale_topology::AsGraph;
 
     /// T0==T1; M2→T0, M3→T1; C4→{M2,M3} (dual-homed); C5→M3.

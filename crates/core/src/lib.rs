@@ -55,5 +55,5 @@ pub mod harness;
 pub mod levent;
 pub mod sim;
 
-pub use harness::{run_experiment, ChurnReport, ExperimentConfig};
-pub use sim::Simulator;
+pub use harness::{run_experiment, run_experiment_jobs, ChurnReport, ExperimentConfig};
+pub use sim::{SimTemplate, Simulator};

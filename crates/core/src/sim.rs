@@ -17,6 +17,8 @@
 //! stable and every MRAI timer idle. All randomness (service times,
 //! jitter) comes from one seeded stream, so runs are exactly repeatable.
 
+use std::sync::Arc;
+
 use bgpscale_bgp::node::Actions;
 use bgpscale_bgp::{BgpConfig, BgpNode, Prefix, Update};
 use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
@@ -72,7 +74,7 @@ impl std::error::Error for EventBudgetExceeded {}
 
 /// The network simulator: topology + BGP speakers + event loop.
 pub struct Simulator {
-    graph: AsGraph,
+    graph: Arc<AsGraph>,
     cfg: BgpConfig,
     nodes: Vec<BgpNode>,
     /// Per-node FIFO input queue: (sender, message).
@@ -103,13 +105,31 @@ fn link_key(a: AsId, b: AsId) -> (AsId, AsId) {
     }
 }
 
-impl Simulator {
-    /// Builds a simulator over `graph`. Neighbor sessions take the
-    /// adjacency order of the graph, which keeps everything deterministic.
+/// A pristine simulator blueprint: topology, protocol configuration, and
+/// clean per-node state, all built once.
+///
+/// The experiment harness runs up to 100 independent C-events over the
+/// *same* topology, each on a fresh simulator with its own derived seed.
+/// Rebuilding the node array from the graph for each event repeats the
+/// session/adjacency construction work; a template does it once and
+/// [`SimTemplate::instantiate`] stamps out simulators by cloning the clean
+/// nodes (cheap: pristine RIBs are empty, and session tables are shared
+/// behind `Arc` inside [`BgpNode`]). Templates are `Send + Sync`, so one
+/// template can feed every worker of a parallel fan-out.
+#[derive(Clone)]
+pub struct SimTemplate {
+    graph: Arc<AsGraph>,
+    cfg: BgpConfig,
+    nodes: Vec<BgpNode>,
+}
+
+impl SimTemplate {
+    /// Builds the blueprint. Neighbor sessions take the adjacency order of
+    /// the graph, which keeps everything deterministic.
     ///
     /// # Panics
     /// Panics if `cfg` fails validation.
-    pub fn new(graph: AsGraph, cfg: BgpConfig, seed: u64) -> Simulator {
+    pub fn new(graph: Arc<AsGraph>, cfg: BgpConfig) -> SimTemplate {
         cfg.check()
             .unwrap_or_else(|e| panic!("invalid BGP config: {e}"));
         let nodes: Vec<BgpNode> = graph
@@ -130,16 +150,27 @@ impl Simulator {
                 node
             })
             .collect();
-        let n = graph.len();
-        let churn = ChurnCollector::new(&graph);
-        let mrai_epoch = graph
+        SimTemplate { graph, cfg, nodes }
+    }
+
+    /// The topology this template simulates.
+    pub fn graph(&self) -> &AsGraph {
+        &self.graph
+    }
+
+    /// Stamps out a fresh simulator with its own RNG stream.
+    pub fn instantiate(&self, seed: u64) -> Simulator {
+        let n = self.graph.len();
+        let churn = ChurnCollector::new(&self.graph);
+        let mrai_epoch = self
+            .graph
             .node_ids()
-            .map(|id| vec![0u32; graph.degree(id)])
+            .map(|id| vec![0u32; self.graph.degree(id)])
             .collect();
         Simulator {
-            graph,
-            cfg,
-            nodes,
+            graph: Arc::clone(&self.graph),
+            cfg: self.cfg.clone(),
+            nodes: self.nodes.clone(),
             inbox: vec![std::collections::VecDeque::new(); n],
             busy: vec![false; n],
             queue: EventQueue::with_capacity(1024),
@@ -151,6 +182,23 @@ impl Simulator {
             down_links: Default::default(),
             messages_dropped: 0,
         }
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator over `graph`. Neighbor sessions take the
+    /// adjacency order of the graph, which keeps everything deterministic.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails validation.
+    pub fn new(graph: AsGraph, cfg: BgpConfig, seed: u64) -> Simulator {
+        Simulator::new_shared(Arc::new(graph), cfg, seed)
+    }
+
+    /// Like [`Simulator::new`], but shares an existing `Arc`-held topology
+    /// instead of taking ownership — the form parallel workers use.
+    pub fn new_shared(graph: Arc<AsGraph>, cfg: BgpConfig, seed: u64) -> Simulator {
+        SimTemplate::new(graph, cfg).instantiate(seed)
     }
 
     /// The topology being simulated.

@@ -50,7 +50,7 @@ proptest! {
                 state = match (state, rel) {
                     (0, Relationship::Provider) => 0,
                     (0, Relationship::Peer) => 1,
-                    (0 | 1 | 2, Relationship::Customer) => 2,
+                    (0..=2, Relationship::Customer) => 2,
                     (s, r) => {
                         prop_assert!(false, "valley in {:?}: state {s}, hop {:?}", full, r);
                         unreachable!();

@@ -12,6 +12,8 @@
 //!   ext_concurrency extension: per-interface vs per-prefix MRAI
 //!   ext_tablesize  extension: per-event churn vs resident table size
 //!   all            every target above, sharing one experiment cache
+//!   bench          time the Baseline sweep at several worker counts and
+//!                  write BENCH_harness.json (see --bench-jobs / --out)
 //!
 //! options:
 //!   --tiny         seconds-scale smoke run (n ≤ 900, 5 events). NOTE:
@@ -26,6 +28,12 @@
 //!   --events <k>   override events per cell
 //!   --sizes a,b,c  override the size sweep
 //!   --csv <dir>    additionally write every table as CSV into <dir>
+//!   --jobs <n>     worker threads for C-event / cell fan-out. 0 (the
+//!                  default) uses every hardware thread; 1 runs the plain
+//!                  sequential path. Results are bit-identical either way.
+//!   --bench-jobs a,b,c  (bench only) worker counts to compare
+//!                       (default: 1,8)
+//!   --out <file>   (bench only) output path (default BENCH_harness.json)
 //! ```
 
 use std::io::Write as _;
@@ -36,8 +44,9 @@ use bgpscale_experiments::{Figure, RunConfig, Sweeper};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all> \
-         [--tiny|--quick|--full] [--seed N] [--events K] [--sizes a,b,c] [--csv DIR]"
+        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench> \
+         [--tiny|--quick|--full] [--seed N] [--events K] [--sizes a,b,c] [--csv DIR] \
+         [--jobs N] [--bench-jobs a,b,c] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -46,6 +55,12 @@ struct Options {
     target: String,
     cfg: RunConfig,
     csv_dir: Option<std::path::PathBuf>,
+    /// Worker threads; 0 = every hardware thread.
+    jobs: usize,
+    /// `bench`: the worker counts to compare.
+    bench_jobs: Vec<usize>,
+    /// `bench`: where to write the JSON report.
+    bench_out: std::path::PathBuf,
 }
 
 fn parse_args() -> Options {
@@ -53,6 +68,9 @@ fn parse_args() -> Options {
     let target = args.next().unwrap_or_else(|| usage());
     let mut cfg = RunConfig::quick();
     let mut csv_dir = None;
+    let mut jobs = 0;
+    let mut bench_jobs = vec![1, 8];
+    let mut bench_out = std::path::PathBuf::from("BENCH_harness.json");
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tiny" => cfg = RunConfig::tiny().with_seed(cfg.seed),
@@ -80,6 +98,24 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 csv_dir = Some(std::path::PathBuf::from(v));
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--bench-jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                bench_jobs = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if bench_jobs.is_empty() {
+                    usage();
+                }
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                bench_out = std::path::PathBuf::from(v);
+            }
             _ => usage(),
         }
     }
@@ -87,6 +123,9 @@ fn parse_args() -> Options {
         target,
         cfg,
         csv_dir,
+        jobs,
+        bench_jobs,
+        bench_out,
     }
 }
 
@@ -122,6 +161,110 @@ const ALL_TARGETS: [&str; 18] = [
     "ext_tablesize",
 ];
 
+/// The current git revision, or `"unknown"` outside a work tree.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `repro bench`: time the Baseline NO-WRATE sweep once per requested
+/// worker count (each with a fresh cache) and write a JSON report.
+///
+/// Every run computes bit-identical reports — the bench cross-checks this
+/// by comparing each run's per-type means against the first run's.
+fn run_bench(
+    cfg: &RunConfig,
+    jobs_list: &[usize],
+    out: &std::path::Path,
+) -> std::io::Result<()> {
+    use bgpscale_topology::{GrowthScenario, NodeType};
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut runs = Vec::new();
+    let mut baseline_reports: Option<Vec<_>> = None;
+    for &requested in jobs_list {
+        let mut sw = Sweeper::new(cfg.clone());
+        sw.set_jobs(requested);
+        let effective = sw.jobs();
+        eprintln!("bench: sweeping Baseline with jobs={requested} (effective {effective}) …");
+        let mut cells = Vec::new();
+        let total_started = Instant::now();
+        for &n in &cfg.sizes.clone() {
+            let cell_started = Instant::now();
+            let report = sw.report(GrowthScenario::Baseline, n, bgpscale_bgp::MraiMode::NoWrate);
+            let wall_s = cell_started.elapsed().as_secs_f64();
+            cells.push((n, wall_s, cfg.events as f64 / wall_s, report));
+        }
+        let total_s = total_started.elapsed().as_secs_f64();
+        eprintln!("bench: jobs={requested} finished in {total_s:.2}s");
+        match &baseline_reports {
+            None => {
+                baseline_reports = Some(cells.iter().map(|(_, _, _, r)| r.clone()).collect());
+            }
+            Some(first) => {
+                for ((_, _, _, r), f) in cells.iter().zip(first) {
+                    for ty in [NodeType::T, NodeType::M, NodeType::Cp, NodeType::C] {
+                        assert_eq!(
+                            r.by_type(ty),
+                            f.by_type(ty),
+                            "jobs={requested} diverged from jobs={} at n={}",
+                            jobs_list[0],
+                            r.n
+                        );
+                    }
+                }
+            }
+        }
+        runs.push((requested, effective, total_s, cells));
+    }
+
+    let base_total = runs.first().map(|(_, _, t, _)| *t).unwrap_or(f64::NAN);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!("  \"events_per_cell\": {},\n", cfg.events));
+    json.push_str(&format!(
+        "  \"sizes\": [{}],\n",
+        cfg.sizes.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"scenario\": \"BASELINE\",\n");
+    json.push_str("  \"mode\": \"NO-WRATE\",\n");
+    json.push_str("  \"runs\": [\n");
+    for (i, (requested, effective, total_s, cells)) in runs.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"requested_jobs\": {requested},\n"));
+        json.push_str(&format!("      \"effective_jobs\": {effective},\n"));
+        json.push_str(&format!("      \"total_wall_s\": {total_s:.6},\n"));
+        json.push_str(&format!(
+            "      \"speedup_vs_first_run\": {:.4},\n",
+            base_total / total_s
+        ));
+        json.push_str("      \"cells\": [\n");
+        for (j, (n, wall_s, eps, _)) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"n\": {n}, \"wall_s\": {wall_s:.6}, \"events_per_s\": {eps:.3} }}{}\n",
+                if j + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, &json)?;
+    eprintln!("bench: wrote {}", out.display());
+    Ok(())
+}
+
 fn write_csv(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for (i, table) in fig.tables.iter().enumerate() {
@@ -134,8 +277,16 @@ fn write_csv(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
 
 fn main() {
     let opts = parse_args();
+    if opts.target == "bench" {
+        if let Err(e) = run_bench(&opts.cfg, &opts.bench_jobs, &opts.bench_out) {
+            eprintln!("bench failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let started = Instant::now();
     let mut sw = Sweeper::new(opts.cfg.clone());
+    sw.set_jobs(opts.jobs);
     sw.on_progress(move |scenario, n, mode| {
         eprintln!(
             "[{:7.1}s] running {scenario} n={n} {} …",

@@ -18,7 +18,6 @@ use bgpscale_stats::mann_kendall::{mann_kendall, sens_slope, MannKendall};
 
 /// Parameters of the synthetic monitor series.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChurnTraceConfig {
     /// Number of days (the paper's window is ~1000, 2005-01-01 onward).
     pub days: usize,

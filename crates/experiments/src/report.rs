@@ -244,7 +244,7 @@ mod tests {
 
     #[test]
     fn float_formatters() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(3.21987), "3.22");
         assert_eq!(f4(0.000123), "0.0001");
     }
 }

@@ -3,12 +3,27 @@
 //! Most figures share experiment cells (the Baseline NO-WRATE sweep feeds
 //! Figs. 4–7; Fig. 12 reuses it as a denominator), so the [`Sweeper`]
 //! caches every `(scenario, n, MRAI mode)` report it computes.
+//!
+//! ## Parallelism and determinism
+//!
+//! With `jobs > 1` ([`Sweeper::set_jobs`]), a sweep splits its worker
+//! budget two ways: each cell's C-events fan out via
+//! [`bgpscale_core::run_experiment_jobs`], and when that leaves workers
+//! idle (more jobs than events per cell), multiple *uncached* cells run
+//! concurrently. Neither axis affects results: every cell's report is a
+//! pure function of `(scenario, n, mode, events, seed)`, and completed
+//! reports are folded into the memo cache on the calling thread in size
+//! order. The cache itself is only ever mutated by the thread that owns
+//! the `Sweeper` (`&mut self`), which is what keeps it trivially
+//! thread-safe; workers communicate results only through the ordered
+//! return of the pool.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, MraiMode};
-use bgpscale_core::{run_experiment, ChurnReport, ExperimentConfig};
+use bgpscale_core::{run_experiment_jobs, ChurnReport, ExperimentConfig};
+use bgpscale_simkernel::pool::run_indexed;
 use bgpscale_topology::GrowthScenario;
 
 /// Sweep-wide settings: the sizes to visit and the per-cell event count.
@@ -60,7 +75,10 @@ impl RunConfig {
 }
 
 /// Progress-observer callback type (invoked per uncached experiment cell).
-type ProgressFn = Box<dyn Fn(GrowthScenario, usize, MraiMode) + Send>;
+///
+/// `Sync` is required because parallel sweeps fire the callback from
+/// worker threads; `Arc` because several workers may hold it at once.
+type ProgressFn = Arc<dyn Fn(GrowthScenario, usize, MraiMode) + Send + Sync>;
 
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct CellKey {
@@ -75,24 +93,53 @@ pub struct Sweeper {
     cache: HashMap<CellKey, Arc<ChurnReport>>,
     /// Observer called before each uncached cell runs (progress logging).
     progress: Option<ProgressFn>,
+    /// Worker budget per sweep call; 1 = fully sequential.
+    jobs: usize,
 }
 
 impl Sweeper {
-    /// Creates a sweeper over `cfg`.
+    /// Creates a sweeper over `cfg`, sequential by default
+    /// (`jobs = 1`; see [`Sweeper::set_jobs`]).
     pub fn new(cfg: RunConfig) -> Sweeper {
         Sweeper {
             cfg,
             cache: HashMap::new(),
             progress: None,
+            jobs: 1,
         }
     }
 
-    /// Installs a progress callback (invoked once per uncached cell).
+    /// Sets the worker budget: how many C-events / cells may be computed
+    /// concurrently. `0` means "use every hardware thread". Results are
+    /// bit-for-bit independent of this setting.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = bgpscale_simkernel::pool::effective_jobs(jobs).max(1);
+    }
+
+    /// Builder-style [`Sweeper::set_jobs`].
+    pub fn with_jobs(mut self, jobs: usize) -> Sweeper {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// The current worker budget.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Installs a progress callback, invoked once per uncached cell just
+    /// before that cell starts computing.
+    ///
+    /// Ordering guarantee: with `jobs = 1` callbacks fire strictly in
+    /// computation order (ascending size within a sweep). With `jobs > 1`
+    /// they may fire from worker threads in any order and concurrently —
+    /// the callback must therefore be `Sync`. A cell served from the
+    /// cache never fires a callback.
     pub fn on_progress(
         &mut self,
-        f: impl Fn(GrowthScenario, usize, MraiMode) + Send + 'static,
+        f: impl Fn(GrowthScenario, usize, MraiMode) + Send + Sync + 'static,
     ) {
-        self.progress = Some(Box::new(f));
+        self.progress = Some(Arc::new(f));
     }
 
     /// The sweep configuration.
@@ -105,8 +152,24 @@ impl Sweeper {
         &self.cfg.sizes
     }
 
+    /// The experiment configuration for one cell.
+    fn cell_config(&self, scenario: GrowthScenario, n: usize, mode: MraiMode) -> ExperimentConfig {
+        let bgp = match mode {
+            MraiMode::NoWrate => BgpConfig::no_wrate(),
+            MraiMode::Wrate => BgpConfig::wrate(),
+        };
+        ExperimentConfig {
+            scenario,
+            n,
+            events: self.cfg.events,
+            seed: self.cfg.seed,
+            bgp,
+        }
+    }
+
     /// Returns (computing and caching on first use) the churn report for
-    /// one cell.
+    /// one cell. An uncached cell fans its C-events out across the full
+    /// worker budget.
     pub fn report(
         &mut self,
         scenario: GrowthScenario,
@@ -120,17 +183,10 @@ impl Sweeper {
         if let Some(cb) = &self.progress {
             cb(scenario, n, mode);
         }
-        let bgp = match mode {
-            MraiMode::NoWrate => BgpConfig::no_wrate(),
-            MraiMode::Wrate => BgpConfig::wrate(),
-        };
-        let report = Arc::new(run_experiment(&ExperimentConfig {
-            scenario,
-            n,
-            events: self.cfg.events,
-            seed: self.cfg.seed,
-            bgp,
-        }));
+        let report = Arc::new(run_experiment_jobs(
+            &self.cell_config(scenario, n, mode),
+            self.jobs,
+        ));
         self.cache.insert(key, Arc::clone(&report));
         report
     }
@@ -141,11 +197,46 @@ impl Sweeper {
     }
 
     /// Runs the whole size sweep for one scenario and MRAI mode.
+    ///
+    /// Uncached cells may compute concurrently when the worker budget
+    /// exceeds the per-cell event count (event-level parallelism is
+    /// preferred because events outnumber cells in every paper
+    /// configuration). Reports are folded into the cache on this thread
+    /// in ascending-size order; results are identical for any `jobs`.
     pub fn sweep_mode(
         &mut self,
         scenario: GrowthScenario,
         mode: MraiMode,
     ) -> Vec<Arc<ChurnReport>> {
+        let uncached: Vec<usize> = self
+            .cfg
+            .sizes
+            .iter()
+            .copied()
+            .filter(|&n| !self.cache.contains_key(&CellKey { scenario, n, mode }))
+            .collect();
+
+        // Split the budget: `inner` workers per cell (C-event fan-out),
+        // and any leftover across cells.
+        let inner = self.jobs.min(self.cfg.events.max(1));
+        let outer = uncached.len().min((self.jobs / inner.max(1)).max(1));
+        if outer > 1 {
+            let progress = self.progress.clone();
+            let configs: Vec<ExperimentConfig> = uncached
+                .iter()
+                .map(|&n| self.cell_config(scenario, n, mode))
+                .collect();
+            let reports = run_indexed(outer, configs.len(), |i| {
+                if let Some(cb) = &progress {
+                    cb(scenario, configs[i].n, mode);
+                }
+                Arc::new(run_experiment_jobs(&configs[i], inner))
+            });
+            for (&n, report) in uncached.iter().zip(reports) {
+                self.cache.insert(CellKey { scenario, n, mode }, report);
+            }
+        }
+
         self.cfg
             .sizes
             .clone()
@@ -212,6 +303,44 @@ mod tests {
         s.report(GrowthScenario::Baseline, 200, MraiMode::NoWrate);
         s.report(GrowthScenario::Baseline, 200, MraiMode::NoWrate);
         assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let cfg = RunConfig {
+            sizes: vec![150, 200, 250],
+            events: 2,
+            seed: 4,
+        };
+        let mut seq = Sweeper::new(cfg.clone());
+        let mut par = Sweeper::new(cfg).with_jobs(8);
+        let a = seq.sweep(GrowthScenario::Baseline);
+        let b = par.sweep(GrowthScenario::Baseline);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(**x, **y, "jobs=8 sweep diverged at n={}", x.n);
+        }
+        assert_eq!(seq.cached_cells(), par.cached_cells());
+    }
+
+    #[test]
+    fn progress_fires_once_per_cell_in_parallel_sweeps() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+        let count = StdArc::new(AtomicUsize::new(0));
+        let c2 = StdArc::clone(&count);
+        let mut s = Sweeper::new(RunConfig {
+            sizes: vec![150, 200, 250],
+            events: 1,
+            seed: 5,
+        })
+        .with_jobs(4);
+        s.on_progress(move |_, _, _| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        s.sweep(GrowthScenario::Baseline);
+        s.sweep(GrowthScenario::Baseline); // fully cached: no callbacks
+        assert_eq!(count.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -31,10 +31,12 @@
 //! assert_eq!(t, SimTime::from_micros(10_000));
 //! ```
 
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use pool::{effective_jobs, run_indexed};
 pub use queue::EventQueue;
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use time::{SimDuration, SimTime};

@@ -15,7 +15,6 @@ use crate::types::{AsId, NodeType, RegionSet, Relationship};
 
 /// One adjacency entry: a neighboring AS and our relationship to it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Neighbor {
     /// The neighboring AS.
     pub id: AsId,
@@ -26,7 +25,6 @@ pub struct Neighbor {
 
 /// Per-node record.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct NodeData {
     ty: NodeType,
     regions: RegionSet,
@@ -38,7 +36,6 @@ struct NodeData {
 
 /// A business-relationship-annotated AS-level topology.
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AsGraph {
     nodes: Vec<NodeData>,
     transit_links: usize,
@@ -315,24 +312,20 @@ impl AsGraph {
         self.customer_tree(root).len()
     }
 
-    /// Exports the topology as a [`petgraph`] undirected graph whose node
-    /// weights are `(AsId, NodeType)` and edge weights are the relationship
-    /// as seen from the edge's `source()` endpoint.
+    /// Exports the topology as a flat undirected edge list: one
+    /// `(endpoint, other, rel)` triple per physical link, where `rel` is
+    /// the relationship as seen from `endpoint` (always `Provider` for
+    /// transit links — i.e. listed from the customer side — and `Peer`
+    /// from the lower-id side for peering links).
     ///
-    /// This is an interop convenience for downstream users who want the
-    /// petgraph algorithm toolbox; the simulator itself operates on
-    /// [`AsGraph`] directly.
-    pub fn to_petgraph(
-        &self,
-    ) -> petgraph::graph::UnGraph<(AsId, NodeType), Relationship> {
-        let mut g = petgraph::graph::UnGraph::with_capacity(self.len(), self.link_count());
-        let idx: Vec<_> = self
-            .node_ids()
-            .map(|id| g.add_node((id, self.node_type(id))))
-            .collect();
+    /// This is an interop convenience for downstream users who want to
+    /// feed the topology into an external graph toolbox; the simulator
+    /// itself operates on [`AsGraph`] directly.
+    pub fn edge_list(&self) -> Vec<(AsId, AsId, Relationship)> {
+        let mut edges = Vec::with_capacity(self.link_count());
         for id in self.node_ids() {
             for n in self.neighbors(id) {
-                // Each undirected link appears twice; add it from the
+                // Each undirected link appears twice; list it from the
                 // customer (or lower-id peer) side only.
                 let add = match n.rel {
                     Relationship::Provider => true,
@@ -340,11 +333,11 @@ impl AsGraph {
                     Relationship::Customer => false,
                 };
                 if add {
-                    g.add_edge(idx[id.index()], idx[n.id.index()], n.rel);
+                    edges.push((id, n.id, n.rel));
                 }
             }
         }
-        g
+        edges
     }
 
     /// Renders the topology in Graphviz DOT format. Transit links are drawn
@@ -543,12 +536,26 @@ mod tests {
     }
 
     #[test]
-    fn petgraph_export_preserves_shape() {
+    fn edge_list_export_preserves_shape() {
         let (g, _) = fixture();
-        let pg = g.to_petgraph();
-        assert_eq!(pg.node_count(), 6);
-        assert_eq!(pg.edge_count(), 6);
-        assert_eq!(petgraph::algo::connected_components(&pg), 1);
+        let edges = g.edge_list();
+        // One entry per physical link, no duplicates in either direction.
+        assert_eq!(edges.len(), g.link_count());
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b, rel) in &edges {
+            assert_ne!(rel, Relationship::Customer, "must list from customer side");
+            assert!(seen.insert((a.min(b), a.max(b))), "duplicate link {a}-{b}");
+        }
+        // The listed edges connect all 6 nodes (union-find by repeated relabel).
+        let mut label: Vec<usize> = (0..g.len()).collect();
+        for _ in 0..g.len() {
+            for &(a, b, _) in &edges {
+                let m = label[a.index()].min(label[b.index()]);
+                label[a.index()] = m;
+                label[b.index()] = m;
+            }
+        }
+        assert!(label.iter().all(|&l| l == 0), "edge list not connected");
     }
 
     #[test]

@@ -11,7 +11,6 @@
 ///
 /// Population counts must satisfy `n_t + n_m + n_cp + n_c == n`.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TopologyParams {
     /// Total number of nodes `n`.
     pub n: usize,

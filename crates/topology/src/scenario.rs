@@ -36,7 +36,6 @@ const STATIC_MIDDLE_FREEZE_N: usize = 1_000;
 
 /// One of the paper's topology growth models.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum GrowthScenario {
     /// The Baseline model of Table 1, resembling the Internet's growth over
     /// the decade before the paper.

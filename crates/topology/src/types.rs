@@ -9,7 +9,6 @@ use std::fmt;
 /// first, then mid-level, then stubs), which lets per-node state live in
 /// flat vectors throughout the simulator.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AsId(pub u32);
 
 impl AsId {
@@ -34,7 +33,6 @@ impl fmt::Display for AsId {
 
 /// The four AS classes of the paper's model (§3).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeType {
     /// Tier-1 transit provider: no providers, full peering clique.
     T,
@@ -85,7 +83,6 @@ impl fmt::Display for NodeType {
 /// if X buys transit from Y, then X records Y as `Provider` and Y records X
 /// as `Customer`; a settlement-free link is `Peer` on both sides.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Relationship {
     /// The neighbor is this node's customer (it pays us for transit).
     Customer,
@@ -135,7 +132,6 @@ impl fmt::Display for Relationship {
 /// connect if their region sets intersect (tier-1 nodes are present in all
 /// regions, so they can connect to anyone).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegionSet(u16);
 
 impl RegionSet {
