@@ -42,8 +42,8 @@ pub struct CEventOutcome {
 ///
 /// # Errors
 /// Propagates [`EventBudgetExceeded`] if any phase fails to quiesce.
-pub fn run_c_event(
-    sim: &mut Simulator,
+pub fn run_c_event<O: bgpscale_obs::SimObserver>(
+    sim: &mut Simulator<O>,
     origin: AsId,
     prefix: Prefix,
 ) -> Result<CEventOutcome, EventBudgetExceeded> {

@@ -69,7 +69,7 @@ impl NodeFactors {
 
 /// Extracts the factors of `node` from the simulator's churn counters
 /// (valid after a measured C-event, before the counters are reset).
-pub fn node_factors(sim: &Simulator, node: AsId) -> NodeFactors {
+pub fn node_factors<O: bgpscale_obs::SimObserver>(sim: &Simulator<O>, node: AsId) -> NodeFactors {
     let counts = sim.churn().node_counts(node);
     let sessions = sim.node(node).sessions();
     debug_assert_eq!(counts.len(), sessions.len());

@@ -55,8 +55,8 @@ pub struct FlapStormOutcome {
 ///
 /// # Errors
 /// Propagates [`EventBudgetExceeded`] from any phase.
-pub fn run_flap_storm(
-    sim: &mut Simulator,
+pub fn run_flap_storm<O: bgpscale_obs::SimObserver>(
+    sim: &mut Simulator<O>,
     origin: AsId,
     prefix: Prefix,
     cfg: &FlapStormConfig,
@@ -99,7 +99,7 @@ pub fn run_flap_storm(
     })
 }
 
-fn count_suppressed(sim: &Simulator, prefix: Prefix) -> usize {
+fn count_suppressed<O: bgpscale_obs::SimObserver>(sim: &Simulator<O>, prefix: Prefix) -> usize {
     sim.graph()
         .node_ids()
         .filter(|&id| {
@@ -109,7 +109,7 @@ fn count_suppressed(sim: &Simulator, prefix: Prefix) -> usize {
         .count()
 }
 
-fn count_unreachable(sim: &Simulator, origin: AsId, prefix: Prefix) -> usize {
+fn count_unreachable<O: bgpscale_obs::SimObserver>(sim: &Simulator<O>, origin: AsId, prefix: Prefix) -> usize {
     sim.graph()
         .node_ids()
         .filter(|&id| id != origin && sim.node(id).best_route(prefix).is_none())

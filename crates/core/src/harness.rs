@@ -26,6 +26,7 @@
 use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, Prefix};
+use bgpscale_obs::{MetricsRegistry, Recorder, SimObserver, TraceRecord};
 use bgpscale_simkernel::pool::run_indexed;
 use bgpscale_simkernel::rng::{hash64_pair, Rng, Xoshiro256StarStar};
 use bgpscale_topology::{generate, AsId, GrowthScenario, NodeType, Relationship};
@@ -126,7 +127,31 @@ fn measure_event(
     k: usize,
     sim_seed: u64,
 ) -> EventMeasurement {
-    let mut sim = template.instantiate(hash64_pair(sim_seed, k as u64));
+    measure_event_observed(
+        cfg,
+        template,
+        node_types,
+        origin,
+        k,
+        sim_seed,
+        bgpscale_obs::NoopObserver,
+    )
+    .0
+}
+
+/// [`measure_event`] with an attached observer, returned alongside the
+/// measurement so the caller can fold telemetry in event-index order.
+#[allow(clippy::too_many_arguments)]
+fn measure_event_observed<O: SimObserver>(
+    cfg: &ExperimentConfig,
+    template: &SimTemplate,
+    node_types: &[NodeType],
+    origin: AsId,
+    k: usize,
+    sim_seed: u64,
+    obs: O,
+) -> (EventMeasurement, O) {
+    let mut sim = template.instantiate_observed(hash64_pair(sim_seed, k as u64), obs);
     let outcome = run_c_event(&mut sim, origin, Prefix(k as u32))
         .unwrap_or_else(|e| panic!("{} n={} event {k}: {e}", cfg.scenario, cfg.n));
 
@@ -150,13 +175,14 @@ fn measure_event(
             event_u[t] = Some(event_u_sum[t] / event_u_cnt[t] as f64);
         }
     }
-    EventMeasurement {
+    let m = EventMeasurement {
         acc,
         event_u,
         total_updates: outcome.total_updates as f64,
         down_s: outcome.down_convergence.as_secs_f64(),
         up_s: outcome.up_convergence.as_secs_f64(),
-    }
+    };
+    (m, sim.into_observer())
 }
 
 /// Runs the full averaged C-event experiment for one configuration.
@@ -183,41 +209,153 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ChurnReport {
 /// # Panics
 /// As [`run_experiment`].
 pub fn run_experiment_jobs(cfg: &ExperimentConfig, jobs: usize) -> ChurnReport {
-    let topo_seed = hash64_pair(cfg.seed, 0x7090);
-    let sim_seed = hash64_pair(cfg.seed, 0x51B);
-    let pick_seed = hash64_pair(cfg.seed, 0x0121);
+    let setup = ExperimentSetup::build(cfg);
+    let measurements: Vec<EventMeasurement> = {
+        let _span = bgpscale_obs::span!("run_events");
+        run_indexed(jobs, setup.c_nodes.len(), |k| {
+            measure_event(
+                cfg,
+                &setup.template,
+                &setup.node_types,
+                setup.c_nodes[k],
+                k,
+                setup.sim_seed,
+            )
+        })
+    };
+    fold_measurements(cfg, &setup, &measurements)
+}
 
-    let graph = Arc::new(generate(cfg.scenario, cfg.n, topo_seed));
-    let node_counts: [usize; 4] = [
-        graph.count_of_type(NodeType::T),
-        graph.count_of_type(NodeType::M),
-        graph.count_of_type(NodeType::Cp),
-        graph.count_of_type(NodeType::C),
-    ];
-    let node_types: Vec<NodeType> = graph.node_ids().map(|id| graph.node_type(id)).collect();
+/// The churn report plus the deterministic telemetry of the run.
+#[derive(Clone, Debug)]
+pub struct ObservedReport {
+    /// The usual churn report (bit-identical to the unobserved run).
+    pub report: ChurnReport,
+    /// Merged metrics of all C-events, folded in event-index order.
+    pub metrics: MetricsRegistry,
+    /// Trace records of all C-events, concatenated in event-index order
+    /// (empty unless a trace sample rate was requested).
+    pub trace: Vec<TraceRecord>,
+}
 
-    // Choose distinct C-type originators.
-    let mut c_nodes = graph.nodes_of_type(NodeType::C);
-    assert!(!c_nodes.is_empty(), "{} at n={} has no C nodes", cfg.scenario, cfg.n);
-    let mut pick_rng = Xoshiro256StarStar::new(pick_seed);
-    pick_rng.shuffle(&mut c_nodes);
-    c_nodes.truncate(cfg.events.max(1));
+/// Runs the experiment with a [`Recorder`] attached to every C-event's
+/// simulator, merging per-event metrics (and, when `trace_sample` is
+/// `Some(n)`, 1-in-`n` sampled trace records) in event-index order.
+///
+/// All collected telemetry is a pure function of the simulated
+/// trajectories, so — like the report itself — `metrics.to_json()` and the
+/// trace stream are **byte-identical for every `jobs` value**.
+///
+/// # Panics
+/// As [`run_experiment`].
+pub fn run_experiment_observed(
+    cfg: &ExperimentConfig,
+    jobs: usize,
+    trace_sample: Option<u64>,
+) -> ObservedReport {
+    let setup = ExperimentSetup::build(cfg);
+    let observed: Vec<(EventMeasurement, Recorder)> = {
+        let _span = bgpscale_obs::span!("run_events");
+        run_indexed(jobs, setup.c_nodes.len(), |k| {
+            measure_event_observed(
+                cfg,
+                &setup.template,
+                &setup.node_types,
+                setup.c_nodes[k],
+                k,
+                setup.sim_seed,
+                Recorder::with_trace(k as u32, trace_sample),
+            )
+        })
+    };
 
-    // Build the clean simulator blueprint once; every event (on any
-    // worker) stamps its own instance from it.
-    let template = SimTemplate::new(Arc::clone(&graph), cfg.bgp.clone());
+    let _span = bgpscale_obs::span!("fold_telemetry");
+    let mut metrics = MetricsRegistry::new();
+    let mut trace = Vec::new();
+    let mut measurements = Vec::with_capacity(observed.len());
+    for (m, recorder) in observed {
+        metrics.merge(&recorder.registry());
+        trace.extend(recorder.into_trace());
+        measurements.push(m);
+    }
+    metrics.inc("experiment.events", measurements.len() as u64);
+    let report = fold_measurements(cfg, &setup, &measurements);
+    ObservedReport {
+        report,
+        metrics,
+        trace,
+    }
+}
 
-    let measurements: Vec<EventMeasurement> = run_indexed(jobs, c_nodes.len(), |k| {
-        measure_event(cfg, &template, &node_types, c_nodes[k], k, sim_seed)
-    });
+/// The per-cell state both experiment flavors share: generated topology,
+/// chosen originators, and the pristine simulator template.
+struct ExperimentSetup {
+    node_counts: [usize; 4],
+    node_types: Vec<NodeType>,
+    c_nodes: Vec<AsId>,
+    template: SimTemplate,
+    sim_seed: u64,
+}
 
-    // Ordered fold: event-index order fixes the f64 accumulation order.
+impl ExperimentSetup {
+    fn build(cfg: &ExperimentConfig) -> ExperimentSetup {
+        let topo_seed = hash64_pair(cfg.seed, 0x7090);
+        let sim_seed = hash64_pair(cfg.seed, 0x51B);
+        let pick_seed = hash64_pair(cfg.seed, 0x0121);
+
+        let graph = {
+            let _span = bgpscale_obs::span!("generate_topology");
+            Arc::new(generate(cfg.scenario, cfg.n, topo_seed))
+        };
+        let node_counts: [usize; 4] = [
+            graph.count_of_type(NodeType::T),
+            graph.count_of_type(NodeType::M),
+            graph.count_of_type(NodeType::Cp),
+            graph.count_of_type(NodeType::C),
+        ];
+        let node_types: Vec<NodeType> = graph.node_ids().map(|id| graph.node_type(id)).collect();
+
+        // Choose distinct C-type originators.
+        let mut c_nodes = graph.nodes_of_type(NodeType::C);
+        assert!(!c_nodes.is_empty(), "{} at n={} has no C nodes", cfg.scenario, cfg.n);
+        let mut pick_rng = Xoshiro256StarStar::new(pick_seed);
+        pick_rng.shuffle(&mut c_nodes);
+        c_nodes.truncate(cfg.events.max(1));
+
+        // Build the clean simulator blueprint once; every event (on any
+        // worker) stamps its own instance from it.
+        let template = {
+            let _span = bgpscale_obs::span!("build_template");
+            SimTemplate::new(Arc::clone(&graph), cfg.bgp.clone())
+        };
+
+        ExperimentSetup {
+            node_counts,
+            node_types,
+            c_nodes,
+            template,
+            sim_seed,
+        }
+    }
+}
+
+/// Folds per-event measurements into the report. Event-index order fixes
+/// the f64 accumulation order, which is what makes the report bit-stable
+/// across job counts.
+fn fold_measurements(
+    cfg: &ExperimentConfig,
+    setup: &ExperimentSetup,
+    measurements: &[EventMeasurement],
+) -> ChurnReport {
+    let _span = bgpscale_obs::span!("fold_measurements");
+    let node_counts = setup.node_counts;
+    let c_nodes = &setup.c_nodes;
     let mut acc = FactorAccumulator::new();
     let mut per_event_u: [Vec<f64>; 4] = Default::default();
     let mut total_updates_sum = 0.0;
     let mut down_sum = 0.0;
     let mut up_sum = 0.0;
-    for m in &measurements {
+    for m in measurements {
         acc.merge(&m.acc);
         for (series, u) in per_event_u.iter_mut().zip(&m.event_u) {
             if let Some(u) = u {
@@ -302,6 +440,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The observability determinism regression: the serialized metrics
+    /// and the trace stream are byte-identical for jobs = 1, 4, 8.
+    #[test]
+    fn observed_metrics_and_trace_are_byte_identical_across_jobs() {
+        let cfg = ExperimentConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 200,
+            events: 6,
+            seed: 0xDE7,
+            bgp: BgpConfig::default(),
+        };
+        let base = run_experiment_observed(&cfg, 1, Some(5));
+        let base_json = base.metrics.to_json();
+        let base_trace: String = base
+            .trace
+            .iter()
+            .map(|r| r.to_json_line() + "\n")
+            .collect();
+        assert!(base.metrics.counter("events.total") > 0);
+        assert!(!base.trace.is_empty(), "sampled trace should have records");
+        for jobs in [4, 8] {
+            let other = run_experiment_observed(&cfg, jobs, Some(5));
+            assert_eq!(
+                base_json,
+                other.metrics.to_json(),
+                "metrics.json diverged at jobs={jobs}"
+            );
+            let other_trace: String = other
+                .trace
+                .iter()
+                .map(|r| r.to_json_line() + "\n")
+                .collect();
+            assert_eq!(base_trace, other_trace, "trace diverged at jobs={jobs}");
+            assert_eq!(base.report, other.report, "report diverged at jobs={jobs}");
+        }
+    }
+
+    /// Attaching a recorder must not perturb the simulation itself.
+    #[test]
+    fn observed_report_matches_unobserved_report() {
+        let cfg = ExperimentConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 200,
+            events: 4,
+            seed: 21,
+            bgp: BgpConfig::default(),
+        };
+        let plain = run_experiment_jobs(&cfg, 1);
+        let observed = run_experiment_observed(&cfg, 1, None);
+        assert_eq!(plain, observed.report);
+        assert!(observed.trace.is_empty(), "no trace requested");
+        // The recorder saw the same world the churn counters did: every
+        // delivered update is one unit of churn, summed over DOWN+UP.
+        let events = plain.events as f64;
+        let mean_from_metrics =
+            observed.metrics.counter("events.deliver") as f64 / events;
+        assert!(
+            mean_from_metrics >= plain.mean_total_updates,
+            "deliveries ({mean_from_metrics}) must cover counted churn ({})",
+            plain.mean_total_updates
+        );
+        assert_eq!(observed.metrics.counter("experiment.events"), plain.events as u64);
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub struct LEventOutcome {
 ///
 /// # Panics
 /// Panics if the link does not exist or is already down.
-pub fn run_l_event(
-    sim: &mut Simulator,
+pub fn run_l_event<O: bgpscale_obs::SimObserver>(
+    sim: &mut Simulator<O>,
     a: AsId,
     b: AsId,
     prefix: Prefix,

@@ -55,5 +55,8 @@ pub mod harness;
 pub mod levent;
 pub mod sim;
 
-pub use harness::{run_experiment, run_experiment_jobs, ChurnReport, ExperimentConfig};
-pub use sim::{SimTemplate, Simulator};
+pub use harness::{
+    run_experiment, run_experiment_jobs, run_experiment_observed, ChurnReport, ExperimentConfig,
+    ObservedReport,
+};
+pub use sim::{BudgetSnapshot, SimTemplate, Simulator};

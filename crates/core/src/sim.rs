@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use bgpscale_bgp::node::Actions;
 use bgpscale_bgp::{BgpConfig, BgpNode, Prefix, Update};
+use bgpscale_obs::{EventKind, NoopObserver, SimObserver, UpdateClass};
 use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
 use bgpscale_simkernel::{EventQueue, SimDuration, SimTime};
 use bgpscale_topology::{AsGraph, AsId};
@@ -53,27 +54,77 @@ enum SimEvent {
     RfdReuse { node: AsId, slot: u32, prefix: Prefix },
 }
 
+impl SimEvent {
+    fn kind(&self) -> EventKind {
+        match self {
+            SimEvent::Deliver { .. } => EventKind::Deliver,
+            SimEvent::ProcDone { .. } => EventKind::ProcDone,
+            SimEvent::MraiExpire { .. } => EventKind::MraiExpire,
+            SimEvent::RfdReuse { .. } => EventKind::RfdReuse,
+        }
+    }
+}
+
+/// A diagnostic snapshot of simulator state at the moment a run exceeded
+/// its event budget. Built only on the failure path (never in the event
+/// loop), so the happy path pays nothing for it.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BudgetSnapshot {
+    /// Simulated time when the budget ran out, in microseconds.
+    pub sim_time_us: u64,
+    /// Events still pending in the queue.
+    pub queue_depth: u64,
+    /// Pending events per kind, indexed by [`EventKind::index`]
+    /// (deliver, proc_done, mrai_expire, rfd_reuse).
+    pub pending_by_kind: [u64; 4],
+    /// The node with the deepest input queue and that depth, if any
+    /// inbox is non-empty (ties break toward the lowest node id).
+    pub busiest_inbox: Option<(AsId, usize)>,
+}
+
 /// Error returned when a run exceeds its event budget.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EventBudgetExceeded {
     /// Number of events processed before giving up.
     pub processed: u64,
+    /// Where the simulation stood when it gave up.
+    pub snapshot: BudgetSnapshot,
 }
 
 impl std::fmt::Display for EventBudgetExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = &self.snapshot;
         write!(
             f,
-            "simulation did not quiesce within {} events (model bug?)",
-            self.processed
-        )
+            "simulation did not quiesce within {} events (model bug?): \
+             t={}us, {} pending (deliver {}, proc_done {}, mrai_expire {}, rfd_reuse {})",
+            self.processed,
+            s.sim_time_us,
+            s.queue_depth,
+            s.pending_by_kind[0],
+            s.pending_by_kind[1],
+            s.pending_by_kind[2],
+            s.pending_by_kind[3],
+        )?;
+        if let Some((node, depth)) = s.busiest_inbox {
+            write!(f, ", busiest inbox {node} with {depth} queued")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for EventBudgetExceeded {}
 
 /// The network simulator: topology + BGP speakers + event loop.
-pub struct Simulator {
+///
+/// Generic over a [`SimObserver`] that receives telemetry hooks from the
+/// event loop. The default is [`NoopObserver`], whose empty `#[inline]`
+/// hook bodies are erased by the optimizer — plain `Simulator` compiles to
+/// the same code as before observers existed, so existing callers neither
+/// change nor pay. Pass a real observer (e.g. `bgpscale_obs::Recorder`)
+/// via [`SimTemplate::instantiate_observed`] to collect metrics/traces.
+pub struct Simulator<O: SimObserver = NoopObserver> {
+    obs: O,
     graph: Arc<AsGraph>,
     cfg: BgpConfig,
     nodes: Vec<BgpNode>,
@@ -160,6 +211,12 @@ impl SimTemplate {
 
     /// Stamps out a fresh simulator with its own RNG stream.
     pub fn instantiate(&self, seed: u64) -> Simulator {
+        self.instantiate_observed(seed, NoopObserver)
+    }
+
+    /// Like [`SimTemplate::instantiate`], but attaches `obs` to receive
+    /// telemetry hooks from the event loop.
+    pub fn instantiate_observed<O: SimObserver>(&self, seed: u64, obs: O) -> Simulator<O> {
         let n = self.graph.len();
         let churn = ChurnCollector::new(&self.graph);
         let mrai_epoch = self
@@ -168,6 +225,7 @@ impl SimTemplate {
             .map(|id| vec![0u32; self.graph.degree(id)])
             .collect();
         Simulator {
+            obs,
             graph: Arc::clone(&self.graph),
             cfg: self.cfg.clone(),
             nodes: self.nodes.clone(),
@@ -199,6 +257,24 @@ impl Simulator {
     /// instead of taking ownership — the form parallel workers use.
     pub fn new_shared(graph: Arc<AsGraph>, cfg: BgpConfig, seed: u64) -> Simulator {
         SimTemplate::new(graph, cfg).instantiate(seed)
+    }
+}
+
+impl<O: SimObserver> Simulator<O> {
+    /// Read access to the attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consumes the simulator, returning the observer with everything it
+    /// collected. The idiomatic end of an observed run.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// The topology being simulated.
@@ -327,12 +403,35 @@ impl Simulator {
             let (time, event) = self.queue.pop().expect("peeked");
             self.dispatch(time, event);
             if self.queue.popped() - start > self.event_limit {
-                return Err(EventBudgetExceeded {
-                    processed: self.queue.popped() - start,
-                });
+                return Err(self.budget_exceeded(start));
             }
         }
         Ok(())
+    }
+
+    /// Builds the budget-exhaustion error with a state snapshot — called
+    /// only on the failure path, so the scans here cost nothing normally.
+    fn budget_exceeded(&self, start: u64) -> EventBudgetExceeded {
+        let mut pending_by_kind = [0u64; 4];
+        for (_, event) in self.queue.iter_pending() {
+            pending_by_kind[event.kind().index()] += 1;
+        }
+        let busiest_inbox = self
+            .inbox
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .max_by_key(|(i, q)| (q.len(), std::cmp::Reverse(*i)))
+            .map(|(i, q)| (AsId(i as u32), q.len()));
+        EventBudgetExceeded {
+            processed: self.queue.popped() - start,
+            snapshot: BudgetSnapshot {
+                sim_time_us: self.queue.now().as_micros(),
+                queue_depth: self.queue.len() as u64,
+                pending_by_kind,
+                busiest_inbox,
+            },
+        }
     }
 
     /// Runs until the event queue is empty: all RIBs stable, all timers
@@ -346,11 +445,11 @@ impl Simulator {
         while let Some((time, event)) = self.queue.pop() {
             self.dispatch(time, event);
             if self.queue.popped() - start > self.event_limit {
-                return Err(EventBudgetExceeded {
-                    processed: self.queue.popped() - start,
-                });
+                return Err(self.budget_exceeded(start));
             }
         }
+        self.obs
+            .on_quiescence(self.last_activity, self.queue.popped());
         Ok(self.last_activity)
     }
 
@@ -374,6 +473,7 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, now: SimTime, event: SimEvent) {
+        self.obs.on_event(event.kind(), now);
         match event {
             SimEvent::Deliver { to, from, update } => {
                 if self.down_links.contains(&link_key(from, to)) {
@@ -386,6 +486,19 @@ impl Simulator {
                     .slot_of(from)
                     .expect("delivery from non-neighbor");
                 self.churn.record(to, slot, update.kind.is_withdraw(), now);
+                self.obs.on_message(
+                    from,
+                    to,
+                    self.nodes[to.index()].sessions()[slot as usize].rel,
+                    if update.kind.is_withdraw() {
+                        UpdateClass::Withdraw
+                    } else {
+                        UpdateClass::Announce
+                    },
+                    update.prefix.0,
+                    update.kind.path().map(|p| p.len() as u32),
+                    now,
+                );
                 self.inbox[to.index()].push_back((from, update));
                 if !self.busy[to.index()] {
                     self.busy[to.index()] = true;
@@ -400,6 +513,7 @@ impl Simulator {
                     .pop_front()
                     .expect("ProcDone with empty input queue");
                 let actions = self.nodes[node.index()].handle_update_at(from, update, now);
+                self.obs.on_decision_run(node, now);
                 self.apply_actions(node, actions);
                 if self.inbox[node.index()].is_empty() {
                     self.busy[node.index()] = false;
@@ -422,6 +536,8 @@ impl Simulator {
                     None => self.nodes[node.index()].mrai_expired(slot),
                     Some(p) => self.nodes[node.index()].mrai_prefix_expired(slot, p),
                 };
+                self.obs
+                    .on_mrai_flush(node, actions.sends.len() as u32, now);
                 self.apply_actions(node, actions);
             }
             SimEvent::RfdReuse { node, slot, prefix } => {

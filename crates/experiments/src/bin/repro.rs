@@ -13,7 +13,10 @@
 //!   ext_tablesize  extension: per-event churn vs resident table size
 //!   all            every target above, sharing one experiment cache
 //!   bench          time the Baseline sweep at several worker counts and
-//!                  write BENCH_harness.json (see --bench-jobs / --out)
+//!                  write BENCH_harness.json (see --bench-jobs / --out);
+//!                  also records observer off/metrics/trace overhead
+//!   profile        run one observed cell and print a phase profile
+//!                  (see --scenario, --cell-n, --check)
 //!
 //! options:
 //!   --tiny         seconds-scale smoke run (n ≤ 900, 5 events). NOTE:
@@ -34,19 +37,36 @@
 //!   --bench-jobs a,b,c  (bench only) worker counts to compare
 //!                       (default: 1,8)
 //!   --out <file>   (bench only) output path (default BENCH_harness.json)
+//!   --metrics-out <file>  write the deterministic metrics registry of
+//!                  every computed cell as JSON (byte-identical for any
+//!                  --jobs value)
+//!   --trace-out <file>    write sampled per-event JSONL trace records
+//!   --trace-sample <n>    keep 1 in n trace records (default 1 = all;
+//!                  only meaningful with --trace-out)
+//!   --scenario <s> (profile only) growth scenario (default BASELINE)
+//!   --cell-n <n>   (profile only) network size (default: first sweep size)
+//!   --check        (profile only) exit non-zero if any expected phase
+//!                  span recorded nothing or no events were processed
+//!
+//! Set BGPSCALE_LOG=quiet|info|debug to control progress chatter on
+//! stderr (default info).
 //! ```
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use bgpscale_experiments::figures;
+use bgpscale_experiments::{figures, profile};
 use bgpscale_experiments::{Figure, RunConfig, Sweeper};
+use bgpscale_obs::{log, TraceRecord, TraceWriter};
+use bgpscale_topology::GrowthScenario;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench> \
+        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench|profile> \
          [--tiny|--quick|--full] [--seed N] [--events K] [--sizes a,b,c] [--csv DIR] \
-         [--jobs N] [--bench-jobs a,b,c] [--out FILE]"
+         [--jobs N] [--bench-jobs a,b,c] [--out FILE] \
+         [--metrics-out FILE] [--trace-out FILE] [--trace-sample N] \
+         [--scenario S] [--cell-n N] [--check]"
     );
     std::process::exit(2);
 }
@@ -61,6 +81,18 @@ struct Options {
     bench_jobs: Vec<usize>,
     /// `bench`: where to write the JSON report.
     bench_out: std::path::PathBuf,
+    /// Write the merged deterministic metrics registry here.
+    metrics_out: Option<std::path::PathBuf>,
+    /// Write sampled JSONL trace records here.
+    trace_out: Option<std::path::PathBuf>,
+    /// Keep 1 in N trace records (1 = all).
+    trace_sample: u64,
+    /// `profile`: the cell's growth scenario.
+    profile_scenario: GrowthScenario,
+    /// `profile`: the cell's network size (default: first sweep size).
+    cell_n: Option<usize>,
+    /// `profile`: fail the process if the profile looks empty.
+    check: bool,
 }
 
 fn parse_args() -> Options {
@@ -71,6 +103,12 @@ fn parse_args() -> Options {
     let mut jobs = 0;
     let mut bench_jobs = vec![1, 8];
     let mut bench_out = std::path::PathBuf::from("BENCH_harness.json");
+    let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut trace_sample = 1u64;
+    let mut profile_scenario = GrowthScenario::Baseline;
+    let mut cell_n = None;
+    let mut check = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tiny" => cfg = RunConfig::tiny().with_seed(cfg.seed),
@@ -116,6 +154,33 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 bench_out = std::path::PathBuf::from(v);
             }
+            "--metrics-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                metrics_out = Some(std::path::PathBuf::from(v));
+            }
+            "--trace-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trace_out = Some(std::path::PathBuf::from(v));
+            }
+            "--trace-sample" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trace_sample = v.parse().unwrap_or_else(|_| usage());
+                if trace_sample == 0 {
+                    usage();
+                }
+            }
+            "--scenario" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                profile_scenario = GrowthScenario::from_name(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scenario: {v}");
+                    usage()
+                });
+            }
+            "--cell-n" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cell_n = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--check" => check = true,
             _ => usage(),
         }
     }
@@ -126,6 +191,12 @@ fn parse_args() -> Options {
         jobs,
         bench_jobs,
         bench_out,
+        metrics_out,
+        trace_out,
+        trace_sample,
+        profile_scenario,
+        cell_n,
+        check,
     }
 }
 
@@ -161,6 +232,55 @@ const ALL_TARGETS: [&str; 18] = [
     "ext_tablesize",
 ];
 
+/// Writes the merged metrics registry as deterministic JSON.
+fn write_metrics(
+    path: &std::path::Path,
+    metrics: &bgpscale_obs::MetricsRegistry,
+) -> std::io::Result<()> {
+    std::fs::write(path, metrics.to_json())?;
+    log!(Info, "wrote metrics to {}", path.display());
+    Ok(())
+}
+
+/// Streams trace records as JSONL through a buffered [`TraceWriter`].
+fn write_trace(path: &std::path::Path, records: &[TraceRecord]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = TraceWriter::new(std::io::BufWriter::new(file));
+    writer.write_all(records)?;
+    writer.finish()?;
+    log!(Info, "wrote {} trace records to {}", records.len(), path.display());
+    Ok(())
+}
+
+/// `repro profile`: run one observed cell, print the phase profile, and
+/// optionally gate on [`profile::check`].
+fn run_profile_target(opts: &Options) -> std::io::Result<bool> {
+    let cfg = profile::ProfileConfig {
+        scenario: opts.profile_scenario,
+        n: opts.cell_n.unwrap_or_else(|| opts.cfg.sizes.first().copied().unwrap_or(300)),
+        events: opts.cfg.events,
+        seed: opts.cfg.seed,
+        jobs: opts.jobs,
+        trace_sample: opts.trace_out.as_ref().map(|_| opts.trace_sample),
+    };
+    let out = profile::run_profile(&cfg);
+    print!("{}", profile::render(&cfg, &out));
+    if let Some(path) = &opts.metrics_out {
+        write_metrics(path, &out.observed.metrics)?;
+    }
+    if let Some(path) = &opts.trace_out {
+        write_trace(path, &out.observed.trace)?;
+    }
+    if opts.check {
+        if let Err(reason) = profile::check(&out) {
+            eprintln!("profile check FAILED: {reason}");
+            return Ok(false);
+        }
+        log!(Info, "profile check passed");
+    }
+    Ok(true)
+}
+
 /// The current git revision, or `"unknown"` outside a work tree.
 fn git_rev() -> String {
     std::process::Command::new("git")
@@ -177,6 +297,43 @@ fn git_rev() -> String {
 ///
 /// Every run computes bit-identical reports — the bench cross-checks this
 /// by comparing each run's per-type means against the first run's.
+/// Best-of-3 wall time of one closure (the usual micro-bench discipline:
+/// the minimum is the least noisy estimator on a shared machine).
+fn best_of_3(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Times the first-size Baseline cell at jobs=1 with the observer off,
+/// metrics-only, and full-trace. Returns `(off_s, metrics_s, trace_s)`.
+fn bench_observer_overhead(cfg: &RunConfig) -> (f64, f64, f64) {
+    use bgpscale_core::{run_experiment_jobs, run_experiment_observed, ExperimentConfig};
+
+    let cell = ExperimentConfig {
+        scenario: bgpscale_topology::GrowthScenario::Baseline,
+        n: cfg.sizes.first().copied().unwrap_or(300),
+        events: cfg.events,
+        seed: cfg.seed,
+        bgp: Default::default(),
+    };
+    log!(Info, "bench: observer overhead on Baseline n={} …", cell.n);
+    let off_s = best_of_3(|| {
+        std::hint::black_box(run_experiment_jobs(&cell, 1));
+    });
+    let metrics_s = best_of_3(|| {
+        std::hint::black_box(run_experiment_observed(&cell, 1, None));
+    });
+    let trace_s = best_of_3(|| {
+        std::hint::black_box(run_experiment_observed(&cell, 1, Some(1)));
+    });
+    (off_s, metrics_s, trace_s)
+}
+
 fn run_bench(
     cfg: &RunConfig,
     jobs_list: &[usize],
@@ -191,7 +348,7 @@ fn run_bench(
         let mut sw = Sweeper::new(cfg.clone());
         sw.set_jobs(requested);
         let effective = sw.jobs();
-        eprintln!("bench: sweeping Baseline with jobs={requested} (effective {effective}) …");
+        log!(Info, "bench: sweeping Baseline with jobs={requested} (effective {effective}) …");
         let mut cells = Vec::new();
         let total_started = Instant::now();
         for &n in &cfg.sizes.clone() {
@@ -201,7 +358,7 @@ fn run_bench(
             cells.push((n, wall_s, cfg.events as f64 / wall_s, report));
         }
         let total_s = total_started.elapsed().as_secs_f64();
-        eprintln!("bench: jobs={requested} finished in {total_s:.2}s");
+        log!(Info, "bench: jobs={requested} finished in {total_s:.2}s");
         match &baseline_reports {
             None => {
                 baseline_reports = Some(cells.iter().map(|(_, _, _, r)| r.clone()).collect());
@@ -223,6 +380,8 @@ fn run_bench(
         runs.push((requested, effective, total_s, cells));
     }
 
+    let (off_s, metrics_s, trace_s) = bench_observer_overhead(cfg);
+
     let base_total = runs.first().map(|(_, _, t, _)| *t).unwrap_or(f64::NAN);
     let mut json = String::new();
     json.push_str("{\n");
@@ -236,6 +395,20 @@ fn run_bench(
     ));
     json.push_str("  \"scenario\": \"BASELINE\",\n");
     json.push_str("  \"mode\": \"NO-WRATE\",\n");
+    json.push_str("  \"observer_overhead\": {\n");
+    json.push_str("    \"comment\": \"first-size cell, jobs=1, best of 3; off = NoopObserver (static dispatch)\",\n");
+    json.push_str(&format!("    \"off_s\": {off_s:.6},\n"));
+    json.push_str(&format!("    \"metrics_s\": {metrics_s:.6},\n"));
+    json.push_str(&format!("    \"trace_s\": {trace_s:.6},\n"));
+    json.push_str(&format!(
+        "    \"metrics_overhead_pct\": {:.2},\n",
+        (metrics_s / off_s - 1.0) * 100.0
+    ));
+    json.push_str(&format!(
+        "    \"trace_overhead_pct\": {:.2}\n",
+        (trace_s / off_s - 1.0) * 100.0
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"runs\": [\n");
     for (i, (requested, effective, total_s, cells)) in runs.iter().enumerate() {
         json.push_str("    {\n");
@@ -261,7 +434,7 @@ fn run_bench(
     }
     json.push_str("  ]\n}\n");
     std::fs::write(out, &json)?;
-    eprintln!("bench: wrote {}", out.display());
+    log!(Info, "bench: wrote {}", out.display());
     Ok(())
 }
 
@@ -284,11 +457,26 @@ fn main() {
         }
         return;
     }
+    if opts.target == "profile" {
+        match run_profile_target(&opts) {
+            Ok(true) => return,
+            Ok(false) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("profile failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let started = Instant::now();
     let mut sw = Sweeper::new(opts.cfg.clone());
     sw.set_jobs(opts.jobs);
+    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
+        let sample = opts.trace_out.as_ref().map(|_| opts.trace_sample);
+        sw.enable_telemetry(sample);
+    }
     sw.on_progress(move |scenario, n, mode| {
-        eprintln!(
+        log!(
+            Info,
             "[{:7.1}s] running {scenario} n={n} {} …",
             started.elapsed().as_secs_f64(),
             mode.label()
@@ -311,11 +499,25 @@ fn main() {
         failed_claims += fig.claims.iter().filter(|c| !c.holds).count();
         if let Some(dir) = &opts.csv_dir {
             if let Err(e) = write_csv(dir, &fig) {
-                eprintln!("warning: CSV export failed: {e}");
+                log!(Info, "warning: CSV export failed: {e}");
             }
         }
     }
-    eprintln!(
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = write_metrics(path, sw.metrics()) {
+            eprintln!("writing {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        let trace = sw.take_trace();
+        if let Err(e) = write_trace(path, &trace) {
+            eprintln!("writing {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    log!(
+        Info,
         "done in {:.1}s ({} experiment cells, {} failed claims)",
         started.elapsed().as_secs_f64(),
         sw.cached_cells(),

@@ -116,6 +116,6 @@ fn main() {
     // Exit code sanity: a topology with no stubs would be useless for
     // churn studies; flag it loudly (TRANSIT-CLIQUE etc. still have stubs).
     if g.count_of_type(NodeType::C) == 0 {
-        eprintln!("warning: no C-type stubs in this instance");
+        bgpscale_obs::log!(Info, "warning: no C-type stubs in this instance");
     }
 }

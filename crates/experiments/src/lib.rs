@@ -39,6 +39,7 @@
 
 pub mod churn_trace;
 pub mod figures;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 

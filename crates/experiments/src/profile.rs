@@ -1,0 +1,215 @@
+//! `repro profile` — one observed experiment cell with a phase profile.
+//!
+//! Runs a single `(scenario, n)` cell with a full metrics recorder
+//! attached, times each harness phase with wall-clock spans, and renders
+//! a human-readable breakdown: where the time goes, what the simulators
+//! did, and how the distributions look. The deterministic half of the
+//! output (the metrics registry and any trace records) can be written to
+//! files; the span timings are wall-clock and stay on the terminal.
+//!
+//! The `check` gate is what CI runs: it fails when an expected phase span
+//! recorded nothing or when the simulators processed zero events —
+//! catching "the harness silently did no work" regressions.
+
+use bgpscale_core::{run_experiment_observed, ExperimentConfig, ObservedReport};
+use bgpscale_obs::span::{self, SpanStats};
+use bgpscale_simkernel::Stopwatch;
+use bgpscale_topology::GrowthScenario;
+
+/// One profiled cell.
+#[derive(Clone, Debug)]
+pub struct ProfileConfig {
+    /// Growth scenario of the cell.
+    pub scenario: GrowthScenario,
+    /// Network size.
+    pub n: usize,
+    /// C-events to run.
+    pub events: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker budget (0 = all hardware threads).
+    pub jobs: usize,
+    /// Keep 1-in-`n` trace records when `Some(n)`.
+    pub trace_sample: Option<u64>,
+}
+
+/// The result of [`run_profile`].
+#[derive(Clone, Debug)]
+pub struct ProfileOutput {
+    /// The observed run: report + metrics + trace.
+    pub observed: ObservedReport,
+    /// Wall-clock span profile (name, stats), name-ordered.
+    pub spans: Vec<(&'static str, SpanStats)>,
+    /// Total wall time of the profiled run in seconds.
+    pub wall_s: f64,
+}
+
+/// The phase spans every profiled run must record. `fold_telemetry` is
+/// part of the observed path, so it belongs here too.
+pub const EXPECTED_SPANS: [&str; 5] = [
+    "generate_topology",
+    "build_template",
+    "run_events",
+    "fold_measurements",
+    "fold_telemetry",
+];
+
+/// Runs one observed cell under a fresh span profile.
+///
+/// Resets the process-global span registry first so the profile covers
+/// exactly this run — don't interleave with other span-recording work.
+pub fn run_profile(cfg: &ProfileConfig) -> ProfileOutput {
+    span::reset();
+    let watch = Stopwatch::start();
+    let experiment = ExperimentConfig {
+        scenario: cfg.scenario,
+        n: cfg.n,
+        events: cfg.events,
+        seed: cfg.seed,
+        bgp: Default::default(),
+    };
+    let jobs = bgpscale_simkernel::pool::effective_jobs(cfg.jobs).max(1);
+    let observed = run_experiment_observed(&experiment, jobs, cfg.trace_sample);
+    ProfileOutput {
+        observed,
+        spans: span::snapshot(),
+        wall_s: watch.elapsed_secs_f64(),
+    }
+}
+
+/// The CI gate: every expected span recorded at least one call, and the
+/// simulators actually processed events.
+///
+/// # Errors
+/// A human-readable description of the first violated expectation.
+pub fn check(out: &ProfileOutput) -> Result<(), String> {
+    for name in EXPECTED_SPANS {
+        match out.spans.iter().find(|(n, _)| *n == name) {
+            None => return Err(format!("span \"{name}\" was never recorded")),
+            Some((_, stats)) if stats.calls == 0 => {
+                return Err(format!("span \"{name}\" recorded zero calls"))
+            }
+            Some(_) => {}
+        }
+    }
+    let events = out.observed.metrics.counter("events.total");
+    if events == 0 {
+        return Err("simulators processed zero events".to_string());
+    }
+    let cells = out.observed.metrics.counter("experiment.events");
+    if cells == 0 {
+        return Err("no C-events were measured".to_string());
+    }
+    Ok(())
+}
+
+/// Renders the profile as terminal text: the span table, headline
+/// counters, and histogram summaries.
+pub fn render(cfg: &ProfileConfig, out: &ProfileOutput) -> String {
+    use std::fmt::Write as _;
+
+    let mut s = String::new();
+    let r = &out.observed.report;
+    let m = &out.observed.metrics;
+    let _ = writeln!(
+        s,
+        "profile: {} n={} events={} seed={:#x}",
+        cfg.scenario, cfg.n, r.events, cfg.seed
+    );
+    let _ = writeln!(s, "wall time: {:.3}s", out.wall_s);
+    let _ = writeln!(s);
+
+    // Span table, largest total first (wall-clock, non-deterministic).
+    let mut spans = out.spans.clone();
+    spans.sort_by_key(|(_, st)| std::cmp::Reverse(st.total_ns));
+    let _ = writeln!(s, "{:<20} {:>8} {:>12} {:>12}", "phase", "calls", "total_s", "mean_s");
+    for (name, st) in &spans {
+        let _ = writeln!(
+            s,
+            "{:<20} {:>8} {:>12.6} {:>12.6}",
+            name,
+            st.calls,
+            st.total_secs(),
+            st.mean_secs()
+        );
+    }
+    let _ = writeln!(s);
+
+    // Headline deterministic counters.
+    let _ = writeln!(s, "{:<28} {:>14}", "counter", "value");
+    for (name, value) in m.counters() {
+        let _ = writeln!(s, "{name:<28} {value:>14}");
+    }
+    for (name, g) in m.gauges() {
+        let _ = writeln!(s, "{:<28} {:>14} (max {})", name, g.value, g.max);
+    }
+    let _ = writeln!(s);
+
+    for (name, h) in m.histograms() {
+        let _ = writeln!(
+            s,
+            "histogram {name}: count={} mean={:.2} max={}",
+            h.count(),
+            h.mean(),
+            h.max()
+        );
+        let buckets: Vec<String> = h
+            .bounds()
+            .iter()
+            .map(|b| b.to_string())
+            .chain(std::iter::once("inf".to_string()))
+            .zip(h.bucket_counts())
+            .map(|(b, c)| format!("<={b}: {c}"))
+            .collect();
+        let _ = writeln!(s, "  {}", buckets.join("  "));
+    }
+
+    if !out.observed.trace.is_empty() {
+        let _ = writeln!(s);
+        let _ = writeln!(s, "trace records kept: {}", out.observed.trace.len());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `run_profile` resets the process-global span registry; serialize
+    // these tests so one reset cannot wipe another run's spans mid-flight.
+    static PROFILE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn tiny_cfg() -> ProfileConfig {
+        ProfileConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 150,
+            events: 2,
+            seed: 0xBEEF,
+            jobs: 1,
+            trace_sample: Some(10),
+        }
+    }
+
+    #[test]
+    fn profile_runs_and_passes_check() {
+        let _guard = PROFILE_LOCK.lock().unwrap();
+        let cfg = tiny_cfg();
+        let out = run_profile(&cfg);
+        check(&out).expect("tiny profile must pass its own gate");
+        assert!(out.wall_s > 0.0);
+        assert!(out.observed.metrics.counter("events.total") > 0);
+        let text = render(&cfg, &out);
+        assert!(text.contains("run_events"), "span table rendered: {text}");
+        assert!(text.contains("events.total"), "counters rendered");
+        assert!(text.contains("histogram messages.path_len"), "histograms rendered");
+    }
+
+    #[test]
+    fn check_rejects_empty_output() {
+        let _guard = PROFILE_LOCK.lock().unwrap();
+        let cfg = tiny_cfg();
+        let mut out = run_profile(&cfg);
+        out.spans.retain(|(n, _)| *n != "run_events");
+        assert!(check(&out).unwrap_err().contains("run_events"));
+    }
+}

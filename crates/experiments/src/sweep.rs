@@ -22,7 +22,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, MraiMode};
-use bgpscale_core::{run_experiment_jobs, ChurnReport, ExperimentConfig};
+use bgpscale_core::{
+    run_experiment_jobs, run_experiment_observed, ChurnReport, ExperimentConfig, ObservedReport,
+};
+use bgpscale_obs::{MetricsRegistry, TraceRecord};
 use bgpscale_simkernel::pool::run_indexed;
 use bgpscale_topology::GrowthScenario;
 
@@ -87,6 +90,13 @@ struct CellKey {
     mode: MraiMode,
 }
 
+/// Telemetry collection settings for a [`Sweeper`] (off by default).
+#[derive(Clone, Copy, Debug, Default)]
+struct Telemetry {
+    enabled: bool,
+    trace_sample: Option<u64>,
+}
+
 /// Memoizing experiment runner shared by all figure drivers.
 pub struct Sweeper {
     cfg: RunConfig,
@@ -95,6 +105,14 @@ pub struct Sweeper {
     progress: Option<ProgressFn>,
     /// Worker budget per sweep call; 1 = fully sequential.
     jobs: usize,
+    telemetry: Telemetry,
+    /// Merged metrics of every uncached cell computed so far, folded on
+    /// the owning thread in cell-completion order (deterministic for a
+    /// fixed call sequence, independent of `jobs`).
+    metrics: MetricsRegistry,
+    /// Concatenated trace records of every uncached cell, same ordering
+    /// discipline as `metrics`.
+    trace: Vec<TraceRecord>,
 }
 
 impl Sweeper {
@@ -106,7 +124,50 @@ impl Sweeper {
             cache: HashMap::new(),
             progress: None,
             jobs: 1,
+            telemetry: Telemetry::default(),
+            metrics: MetricsRegistry::new(),
+            trace: Vec::new(),
         }
+    }
+
+    /// Turns on telemetry collection: every *uncached* cell computed from
+    /// now on runs with a metrics recorder attached (and, when
+    /// `trace_sample` is `Some(n)`, keeps 1-in-`n` trace records). The
+    /// cell reports themselves are bit-identical either way; read the
+    /// accumulated telemetry with [`Sweeper::metrics`] /
+    /// [`Sweeper::take_trace`].
+    pub fn enable_telemetry(&mut self, trace_sample: Option<u64>) {
+        self.telemetry = Telemetry {
+            enabled: true,
+            trace_sample,
+        };
+    }
+
+    /// The metrics merged across all telemetry-enabled cells so far.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Drains the trace records accumulated so far (cell completion
+    /// order; within a cell, event-index order).
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Runs one uncached cell, folding telemetry if enabled.
+    fn compute_cell(&mut self, cfg: &ExperimentConfig) -> Arc<ChurnReport> {
+        if self.telemetry.enabled {
+            let observed = run_experiment_observed(cfg, self.jobs, self.telemetry.trace_sample);
+            self.fold_telemetry(observed)
+        } else {
+            Arc::new(run_experiment_jobs(cfg, self.jobs))
+        }
+    }
+
+    fn fold_telemetry(&mut self, observed: ObservedReport) -> Arc<ChurnReport> {
+        self.metrics.merge(&observed.metrics);
+        self.trace.extend(observed.trace);
+        Arc::new(observed.report)
     }
 
     /// Sets the worker budget: how many C-events / cells may be computed
@@ -183,10 +244,8 @@ impl Sweeper {
         if let Some(cb) = &self.progress {
             cb(scenario, n, mode);
         }
-        let report = Arc::new(run_experiment_jobs(
-            &self.cell_config(scenario, n, mode),
-            self.jobs,
-        ));
+        let cell_cfg = self.cell_config(scenario, n, mode);
+        let report = self.compute_cell(&cell_cfg);
         self.cache.insert(key, Arc::clone(&report));
         report
     }
@@ -222,18 +281,34 @@ impl Sweeper {
         let outer = uncached.len().min((self.jobs / inner.max(1)).max(1));
         if outer > 1 {
             let progress = self.progress.clone();
+            let telemetry = self.telemetry;
             let configs: Vec<ExperimentConfig> = uncached
                 .iter()
                 .map(|&n| self.cell_config(scenario, n, mode))
                 .collect();
-            let reports = run_indexed(outer, configs.len(), |i| {
-                if let Some(cb) = &progress {
-                    cb(scenario, configs[i].n, mode);
+            if telemetry.enabled {
+                // Observed cells return their telemetry to the owning
+                // thread, which folds it in ascending-size (index) order.
+                let observed = run_indexed(outer, configs.len(), |i| {
+                    if let Some(cb) = &progress {
+                        cb(scenario, configs[i].n, mode);
+                    }
+                    run_experiment_observed(&configs[i], inner, telemetry.trace_sample)
+                });
+                for (&n, obs) in uncached.iter().zip(observed) {
+                    let report = self.fold_telemetry(obs);
+                    self.cache.insert(CellKey { scenario, n, mode }, report);
                 }
-                Arc::new(run_experiment_jobs(&configs[i], inner))
-            });
-            for (&n, report) in uncached.iter().zip(reports) {
-                self.cache.insert(CellKey { scenario, n, mode }, report);
+            } else {
+                let reports = run_indexed(outer, configs.len(), |i| {
+                    if let Some(cb) = &progress {
+                        cb(scenario, configs[i].n, mode);
+                    }
+                    Arc::new(run_experiment_jobs(&configs[i], inner))
+                });
+                for (&n, report) in uncached.iter().zip(reports) {
+                    self.cache.insert(CellKey { scenario, n, mode }, report);
+                }
             }
         }
 
@@ -341,6 +416,27 @@ mod tests {
         s.sweep(GrowthScenario::Baseline);
         s.sweep(GrowthScenario::Baseline); // fully cached: no callbacks
         assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_reports() {
+        let cfg = RunConfig {
+            sizes: vec![150, 200],
+            events: 2,
+            seed: 6,
+        };
+        let mut plain = Sweeper::new(cfg.clone());
+        let mut observed = Sweeper::new(cfg);
+        observed.enable_telemetry(Some(4));
+        let a = plain.sweep(GrowthScenario::Baseline);
+        let b = observed.sweep(GrowthScenario::Baseline);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(**x, **y, "telemetry perturbed the report at n={}", x.n);
+        }
+        assert!(observed.metrics().counter("events.total") > 0);
+        assert_eq!(observed.metrics().counter("experiment.events"), 4);
+        assert!(!observed.take_trace().is_empty());
+        assert!(plain.metrics().is_empty(), "telemetry off collects nothing");
     }
 
     #[test]

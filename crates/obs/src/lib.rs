@@ -1,0 +1,49 @@
+//! # bgpscale-obs
+//!
+//! Deterministic simulation telemetry for the `bgpscale` workspace:
+//! observer hooks, a metrics registry, structured event tracing, wall-clock
+//! span profiling, and leveled logging — with **zero external
+//! dependencies**.
+//!
+//! The crate draws a hard line between two kinds of observability:
+//!
+//! * **Deterministic artifacts** — [`MetricsRegistry`] snapshots and
+//!   [`TraceRecord`] streams are pure functions of the simulated
+//!   trajectory: integer-only, merged in event-index order, serialized
+//!   with sorted keys. `metrics.json` and `trace.jsonl` are byte-identical
+//!   for any `--jobs` level (regression-tested in `bgpscale-core`).
+//! * **Wall-clock profiling** — [`span!`] scopes aggregate real elapsed
+//!   time into a process-global profile for `repro profile`. Wall time
+//!   never enters the deterministic artifacts.
+//!
+//! The simulator is generic over [`SimObserver`] with [`NoopObserver`] as
+//! the default: hooks are statically dispatched empty inline bodies, so
+//! the un-observed simulator compiles to the same code as before this
+//! crate existed (overhead budget enforced by `repro bench`).
+//!
+//! ## Example
+//!
+//! ```
+//! use bgpscale_obs::{EventKind, Recorder, SimObserver};
+//! use bgpscale_simkernel::SimTime;
+//!
+//! let mut rec = Recorder::new(0);
+//! rec.on_event(EventKind::Deliver, SimTime::from_millis(3));
+//! let registry = rec.registry();
+//! assert_eq!(registry.counter("events.deliver"), 1);
+//! assert!(registry.to_json().contains("\"events.deliver\": 1"));
+//! ```
+
+pub mod logging;
+pub mod metrics;
+pub mod observer;
+pub mod recorder;
+pub mod span;
+pub mod trace;
+
+pub use logging::Level;
+pub use metrics::{Gauge, Histogram, MetricsRegistry};
+pub use observer::{EventKind, NoopObserver, SimObserver, UpdateClass};
+pub use recorder::Recorder;
+pub use span::SpanStats;
+pub use trace::{TraceBuffer, TraceRecord, TraceWriter};

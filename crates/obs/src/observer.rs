@@ -1,0 +1,164 @@
+//! The [`SimObserver`] trait: hook points the simulator event loop calls.
+//!
+//! The simulator (`bgpscale-core`) is generic over an observer,
+//! `Simulator<O: SimObserver = NoopObserver>`, so the hooks are statically
+//! dispatched: with the default [`NoopObserver`] every hook body is an
+//! empty `#[inline]` function and the optimizer erases both the call and
+//! the computation of its arguments — the hot path is unchanged when
+//! tracing is off (measured by `repro bench`, see BENCH_harness.json).
+//!
+//! Observers are plain mutable state owned by one simulator instance; the
+//! parallel experiment harness gives every C-event its own observer and
+//! merges the results **in event-index order**, which is what keeps
+//! metrics and trace output bit-deterministic across `--jobs` levels.
+
+use bgpscale_simkernel::SimTime;
+use bgpscale_topology::{AsId, Relationship};
+
+/// The kind of a simulator event, mirrored from `core::sim`'s private
+/// event enum so observers can count per kind without a dependency cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A message arrived at a node's input queue.
+    Deliver,
+    /// A node's processor finished one message.
+    ProcDone,
+    /// An MRAI timer fired.
+    MraiExpire,
+    /// A Route-Flap-Damping reuse wake-up fired.
+    RfdReuse,
+}
+
+impl EventKind {
+    /// All kinds, in stable index order.
+    pub const ALL: [EventKind; 4] = [
+        EventKind::Deliver,
+        EventKind::ProcDone,
+        EventKind::MraiExpire,
+        EventKind::RfdReuse,
+    ];
+
+    /// Stable dense index (0..4), used by counters and snapshots.
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::Deliver => 0,
+            EventKind::ProcDone => 1,
+            EventKind::MraiExpire => 2,
+            EventKind::RfdReuse => 3,
+        }
+    }
+
+    /// Stable lowercase name, used in metric keys and trace records.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Deliver => "deliver",
+            EventKind::ProcDone => "proc_done",
+            EventKind::MraiExpire => "mrai_expire",
+            EventKind::RfdReuse => "rfd_reuse",
+        }
+    }
+}
+
+/// The flavor of a delivered UPDATE, as seen by [`SimObserver::on_message`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpdateClass {
+    /// A reachable route with an AS path.
+    Announce,
+    /// An explicit withdrawal.
+    Withdraw,
+}
+
+impl UpdateClass {
+    /// Stable lowercase name, used in metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateClass::Announce => "announce",
+            UpdateClass::Withdraw => "withdraw",
+        }
+    }
+}
+
+/// Hook points called from the simulator's event loop.
+///
+/// Every method has an empty default body, so an observer implements only
+/// what it needs. Implementations must be deterministic functions of the
+/// hook arguments if their output feeds `metrics.json` or a trace file —
+/// wall-clock time and global state would break the bit-identical-across-
+/// `--jobs` guarantee (spans are the sanctioned wall-clock escape hatch;
+/// they never enter deterministic artifacts).
+pub trait SimObserver {
+    /// An event was popped from the queue and is about to be dispatched.
+    #[inline]
+    fn on_event(&mut self, _kind: EventKind, _now: SimTime) {}
+
+    /// An UPDATE was delivered from `from` to `to` (and joined `to`'s
+    /// input queue). `rel` is the relationship of the *sender* as seen
+    /// from the receiver; `path_len` is the AS-path length of an
+    /// announcement (`None` for withdrawals).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn on_message(
+        &mut self,
+        _from: AsId,
+        _to: AsId,
+        _rel: Relationship,
+        _class: UpdateClass,
+        _prefix: u32,
+        _path_len: Option<u32>,
+        _now: SimTime,
+    ) {
+    }
+
+    /// An MRAI timer expiry actually flushed `sent` queued updates at
+    /// `node` (no-op expiries — nothing queued — do not fire this hook).
+    #[inline]
+    fn on_mrai_flush(&mut self, _node: AsId, _sent: u32, _now: SimTime) {}
+
+    /// `node` processed one message through the decision process.
+    #[inline]
+    fn on_decision_run(&mut self, _node: AsId, _now: SimTime) {}
+
+    /// The event queue drained: the network quiesced at `now` after
+    /// `events_processed` events total.
+    #[inline]
+    fn on_quiescence(&mut self, _now: SimTime, _events_processed: u64) {}
+}
+
+/// The default observer: every hook is a no-op that compiles to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kind_indices_are_dense_and_stable() {
+        for (i, k) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(EventKind::Deliver.name(), "deliver");
+        assert_eq!(EventKind::MraiExpire.name(), "mrai_expire");
+        assert_eq!(UpdateClass::Withdraw.name(), "withdraw");
+    }
+
+    #[test]
+    fn noop_observer_accepts_all_hooks() {
+        let mut o = NoopObserver;
+        o.on_event(EventKind::Deliver, SimTime::ZERO);
+        o.on_message(
+            AsId(0),
+            AsId(1),
+            Relationship::Customer,
+            UpdateClass::Announce,
+            0,
+            Some(3),
+            SimTime::ZERO,
+        );
+        o.on_mrai_flush(AsId(0), 1, SimTime::ZERO);
+        o.on_decision_run(AsId(0), SimTime::ZERO);
+        o.on_quiescence(SimTime::ZERO, 42);
+    }
+}

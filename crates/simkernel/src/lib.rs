@@ -35,8 +35,10 @@ pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod wallclock;
 
 pub use pool::{effective_jobs, run_indexed};
 pub use queue::EventQueue;
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use time::{SimDuration, SimTime};
+pub use wallclock::Stopwatch;

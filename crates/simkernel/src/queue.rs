@@ -133,6 +133,14 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
+    /// Iterates over the pending events in **unspecified order** (heap
+    /// order, not delivery order). Intended for diagnostics — counting
+    /// pending events per kind for an error snapshot — where only
+    /// order-insensitive aggregation is sound.
+    pub fn iter_pending(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.heap.iter().map(|Reverse(e)| (e.time, &e.event))
+    }
+
     /// Removes all pending events and resets the clock and counters.
     /// (Sequence numbering is *not* reset mid-run; a fresh queue should be
     /// used for a fresh run — this is for reusing allocations.)
@@ -220,6 +228,18 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.popped(), 0);
         q.schedule(SimTime::from_micros(1), ()); // past-check reset too
+    }
+
+    #[test]
+    fn iter_pending_sees_every_event_once() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        q.pop();
+        let mut pending: Vec<u64> = q.iter_pending().map(|(_, &e)| e).collect();
+        pending.sort_unstable();
+        assert_eq!(pending, vec![1, 2, 3, 4]);
     }
 
     #[test]
