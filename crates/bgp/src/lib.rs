@@ -37,6 +37,7 @@ pub mod node;
 pub mod policy;
 pub mod rfd;
 
+pub use bgpscale_obs::{Provenance, RootCauseKind};
 pub use config::{BgpConfig, MraiMode, MraiScope, ServiceTimeModel};
 pub use message::{AsPath, Prefix, Update, UpdateKind};
 pub use node::BgpNode;

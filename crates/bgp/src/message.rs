@@ -9,6 +9,7 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::{Arc, OnceLock};
 
+use bgpscale_obs::Provenance;
 use bgpscale_topology::AsId;
 
 /// A routable destination. The paper studies single-prefix events, so a
@@ -141,31 +142,57 @@ impl UpdateKind {
 }
 
 /// One UPDATE message concerning one prefix.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Update {
     /// The prefix the message is about.
     pub prefix: Prefix,
     /// Announcement or withdrawal.
     pub kind: UpdateKind,
+    /// Causal attribution stamp (telemetry metadata, see below). Cheap to
+    /// clone: the root set is interned behind an `Arc`.
+    pub provenance: Provenance,
 }
+
+/// Equality covers the wire content only (`prefix` + `kind`). The
+/// provenance stamp is telemetry metadata — two updates that would be
+/// byte-identical on the wire compare equal regardless of which root
+/// cause produced them, so structural assertions in tests and the MRAI
+/// no-op suppression logic are unaffected by stamping.
+impl PartialEq for Update {
+    fn eq(&self, other: &Update) -> bool {
+        self.prefix == other.prefix && self.kind == other.kind
+    }
+}
+
+impl Eq for Update {}
 
 impl Update {
     /// Convenience constructor for an announcement. Accepts anything
     /// convertible to an [`AsPath`] (a `Vec<AsId>`, a slice, or an
-    /// already-interned path, which is reused without copying).
+    /// already-interned path, which is reused without copying). The
+    /// update starts unstamped; use [`Update::stamped`] to attach
+    /// provenance.
     pub fn announce(prefix: Prefix, path: impl Into<AsPath>) -> Update {
         Update {
             prefix,
             kind: UpdateKind::Announce(path.into()),
+            provenance: Provenance::none(),
         }
     }
 
-    /// Convenience constructor for a withdrawal.
+    /// Convenience constructor for a withdrawal (unstamped).
     pub fn withdraw(prefix: Prefix) -> Update {
         Update {
             prefix,
             kind: UpdateKind::Withdraw,
+            provenance: Provenance::none(),
         }
+    }
+
+    /// Attaches a provenance stamp (builder style).
+    pub fn stamped(mut self, provenance: Provenance) -> Update {
+        self.provenance = provenance;
+        self
     }
 }
 
@@ -247,5 +274,15 @@ mod tests {
             Update::announce(Prefix(1), vec![AsId(3)])
         );
         assert_ne!(Update::withdraw(Prefix(1)), Update::withdraw(Prefix(2)));
+    }
+
+    #[test]
+    fn equality_ignores_the_provenance_stamp() {
+        let plain = Update::withdraw(Prefix(1));
+        let stamped = Update::withdraw(Prefix(1)).stamped(Provenance::root(9));
+        assert_eq!(plain, stamped, "provenance is telemetry, not wire content");
+        assert!(!plain.provenance.is_stamped());
+        assert_eq!(stamped.provenance.roots(), &[9]);
+        assert_eq!(stamped.clone().provenance.roots(), &[9]);
     }
 }

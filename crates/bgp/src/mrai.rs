@@ -32,6 +32,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use bgpscale_obs::Provenance;
+
 use crate::config::{MraiMode, MraiScope};
 use crate::message::{AsPath, Prefix, Update, UpdateKind};
 
@@ -61,8 +63,11 @@ pub struct OutQueue {
     timer_armed: bool,
     /// Per-prefix scope: the prefixes whose timers are armed.
     armed_prefixes: BTreeSet<Prefix>,
-    /// Updates waiting for a timer; at most one per prefix.
-    pending: BTreeMap<Prefix, UpdateKind>,
+    /// Updates waiting for a timer; at most one per prefix, each with the
+    /// provenance it will carry when flushed. When a newer update replaces
+    /// a queued one, the stamps coalesce (root sets union) so attribution
+    /// survives rate-limiting.
+    pending: BTreeMap<Prefix, (UpdateKind, Provenance)>,
     /// Adj-RIB-out: the path last actually sent, per prefix. Absent means
     /// the neighbor holds no route from us (withdrawn or never announced).
     sent: BTreeMap<Prefix, AsPath>,
@@ -121,6 +126,16 @@ impl OutQueue {
         }
     }
 
+    /// Number of armed timers this queue holds (0 or 1 for the
+    /// per-interface scope; one per armed prefix otherwise). Each armed
+    /// timer corresponds to exactly one outstanding expiry event.
+    pub fn armed_count(&self) -> usize {
+        match self.scope {
+            MraiScope::PerInterface => usize::from(self.timer_armed),
+            MraiScope::PerPrefix => self.armed_prefixes.len(),
+        }
+    }
+
     /// Number of queued (pending) updates.
     pub fn pending_len(&self) -> usize {
         self.pending.len()
@@ -136,26 +151,45 @@ impl OutQueue {
     /// intent if any, else the Adj-RIB-out.
     pub fn intent(&self, prefix: Prefix) -> Option<&AsPath> {
         match self.pending.get(&prefix) {
-            Some(UpdateKind::Announce(p)) => Some(p),
-            Some(UpdateKind::Withdraw) => None,
+            Some((UpdateKind::Announce(p), _)) => Some(p),
+            Some((UpdateKind::Withdraw, _)) => None,
             None => self.sent.get(&prefix),
         }
     }
 
+    /// Queues `kind` behind the timer, folding the stamp of any update it
+    /// displaces into `cause` so no root loses its attribution.
+    fn queue_pending(&mut self, prefix: Prefix, kind: UpdateKind, cause: &Provenance) {
+        let mut stamp = cause.clone();
+        if let Some((_, displaced)) = self.pending.get(&prefix) {
+            stamp.coalesce_with(displaced);
+        }
+        self.pending.insert(prefix, (kind, stamp));
+    }
+
     /// Submits a new intent for `prefix`: `Some(path)` to announce, `None`
-    /// to withdraw. Returns what the caller must do.
-    pub fn submit(&mut self, prefix: Prefix, intent: Option<AsPath>, mode: MraiMode) -> Submit {
+    /// to withdraw. `cause` is the provenance stamp the resulting update
+    /// carries (pass [`Provenance::none`] when attribution is not
+    /// wanted — it never changes what is sent, queued, or suppressed).
+    /// Returns what the caller must do.
+    pub fn submit(
+        &mut self,
+        prefix: Prefix,
+        intent: Option<AsPath>,
+        mode: MraiMode,
+        cause: &Provenance,
+    ) -> Submit {
         // Drop no-ops against the eventual neighbor state.
         if self.intent(prefix) == intent.as_ref() {
             return Submit::Suppressed;
         }
         match intent {
-            None => self.submit_withdraw(prefix, mode),
-            Some(path) => self.submit_announce(prefix, path),
+            None => self.submit_withdraw(prefix, mode, cause),
+            Some(path) => self.submit_announce(prefix, path, cause),
         }
     }
 
-    fn submit_withdraw(&mut self, prefix: Prefix, mode: MraiMode) -> Submit {
+    fn submit_withdraw(&mut self, prefix: Prefix, mode: MraiMode, cause: &Provenance) -> Submit {
         // A queued announcement that never went out is invalidated: if the
         // neighbor holds nothing, removing it finishes the job silently.
         self.pending.remove(&prefix);
@@ -168,19 +202,19 @@ impl OutQueue {
                 // arm the timer.
                 self.sent.remove(&prefix);
                 Submit::SendNow {
-                    update: Update::withdraw(prefix),
+                    update: Update::withdraw(prefix).stamped(cause.clone()),
                     arm_timer: false,
                 }
             }
             MraiMode::Wrate => {
                 if self.is_armed(prefix) {
-                    self.pending.insert(prefix, UpdateKind::Withdraw);
+                    self.queue_pending(prefix, UpdateKind::Withdraw, cause);
                     Submit::Queued
                 } else {
                     self.sent.remove(&prefix);
                     self.set_armed(prefix);
                     Submit::SendNow {
-                        update: Update::withdraw(prefix),
+                        update: Update::withdraw(prefix).stamped(cause.clone()),
                         arm_timer: true,
                     }
                 }
@@ -188,9 +222,9 @@ impl OutQueue {
         }
     }
 
-    fn submit_announce(&mut self, prefix: Prefix, path: AsPath) -> Submit {
+    fn submit_announce(&mut self, prefix: Prefix, path: AsPath, cause: &Provenance) -> Submit {
         if self.is_armed(prefix) {
-            self.pending.insert(prefix, UpdateKind::Announce(path));
+            self.queue_pending(prefix, UpdateKind::Announce(path), cause);
             Submit::Queued
         } else {
             debug_assert!(
@@ -200,7 +234,7 @@ impl OutQueue {
             self.sent.insert(prefix, path.clone());
             self.set_armed(prefix);
             Submit::SendNow {
-                update: Update::announce(prefix, path),
+                update: Update::announce(prefix, path).stamped(cause.clone()),
                 arm_timer: true,
             }
         }
@@ -224,8 +258,8 @@ impl OutQueue {
                 debug_assert!(self.timer_armed, "flush on an idle queue");
                 let pending = std::mem::take(&mut self.pending);
                 let mut out = Vec::with_capacity(pending.len());
-                for (prefix, kind) in pending {
-                    if let Some(u) = self.emit(prefix, kind) {
+                for (prefix, (kind, stamp)) in pending {
+                    if let Some(u) = self.emit(prefix, kind, stamp) {
                         out.push(u);
                     }
                 }
@@ -241,7 +275,7 @@ impl OutQueue {
                 let out: Vec<Update> = self
                     .pending
                     .remove(&prefix)
-                    .and_then(|kind| self.emit(prefix, kind))
+                    .and_then(|(kind, stamp)| self.emit(prefix, kind, stamp))
                     .into_iter()
                     .collect();
                 let rearm = !out.is_empty();
@@ -258,19 +292,21 @@ impl OutQueue {
     }
 
     /// Emits one pending update unless it is a no-op against the
-    /// Adj-RIB-out, updating the Adj-RIB-out on emission.
-    fn emit(&mut self, prefix: Prefix, kind: UpdateKind) -> Option<Update> {
+    /// Adj-RIB-out, updating the Adj-RIB-out on emission. The stored
+    /// (possibly coalesced) stamp rides out on the message.
+    fn emit(&mut self, prefix: Prefix, kind: UpdateKind, stamp: Provenance) -> Option<Update> {
         match kind {
             UpdateKind::Announce(path) => {
                 if self.sent.get(&prefix) == Some(&path) {
                     return None; // neighbor already has it
                 }
                 self.sent.insert(prefix, path.clone());
-                Some(Update::announce(prefix, path))
+                Some(Update::announce(prefix, path).stamped(stamp))
             }
-            UpdateKind::Withdraw => {
-                self.sent.remove(&prefix).map(|_| Update::withdraw(prefix))
-            }
+            UpdateKind::Withdraw => self
+                .sent
+                .remove(&prefix)
+                .map(|_| Update::withdraw(prefix).stamped(stamp)),
         }
     }
 
@@ -294,13 +330,18 @@ impl OutQueue {
     ///
     /// # Panics
     /// Panics if the timer is armed (a fresh session starts idle).
-    pub fn send_unlimited(&mut self, prefix: Prefix, path: AsPath) -> Option<Update> {
+    pub fn send_unlimited(
+        &mut self,
+        prefix: Prefix,
+        path: AsPath,
+        cause: &Provenance,
+    ) -> Option<Update> {
         assert!(!self.timer_armed(), "initial exchange on a rate-limited session");
         if self.sent.get(&prefix) == Some(&path) {
             return None;
         }
         self.sent.insert(prefix, path.clone());
-        Some(Update::announce(prefix, path))
+        Some(Update::announce(prefix, path).stamped(cause.clone()))
     }
 
     /// Arms a timer without sending (used after an initial table
@@ -344,10 +385,14 @@ mod tests {
         ids.iter().map(|&i| AsId(i)).collect()
     }
 
+    fn none() -> Provenance {
+        Provenance::none()
+    }
+
     #[test]
     fn first_announcement_sends_and_arms() {
         let mut q = OutQueue::new();
-        let r = q.submit(P, Some(path(&[1, 2])), MraiMode::NoWrate);
+        let r = q.submit(P, Some(path(&[1, 2])), MraiMode::NoWrate, &none());
         assert_eq!(
             r,
             Submit::SendNow {
@@ -362,8 +407,8 @@ mod tests {
     #[test]
     fn second_announcement_queues_behind_timer() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
-        let r = q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        let r = q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate, &none());
         assert_eq!(r, Submit::Queued);
         assert_eq!(q.pending_len(), 1);
         // Adj-RIB-out still shows the transmitted route; intent shows the
@@ -375,9 +420,9 @@ mod tests {
     #[test]
     fn newer_update_replaces_queued_one() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
-        q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate);
-        q.submit(P, Some(path(&[1, 4])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate, &none());
+        q.submit(P, Some(path(&[1, 4])), MraiMode::NoWrate, &none());
         assert_eq!(q.pending_len(), 1, "replaced, not accumulated");
         let (sent, rearm) = q.flush(None);
         assert_eq!(sent, vec![Update::announce(P, path(&[1, 4]))]);
@@ -387,8 +432,8 @@ mod tests {
     #[test]
     fn duplicate_announcement_is_suppressed() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
-        let r = q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        let r = q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
         assert_eq!(r, Submit::Suppressed);
         assert_eq!(q.pending_len(), 0);
     }
@@ -398,9 +443,9 @@ mod tests {
         // Send A; queue B; queue A again (flap back). At expiry the
         // neighbor already holds A → nothing goes out, timer idles.
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
-        q.submit(P, Some(path(&[2])), MraiMode::NoWrate);
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        q.submit(P, Some(path(&[2])), MraiMode::NoWrate, &none());
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
         let (sent, rearm) = q.flush(None);
         assert!(sent.is_empty());
         assert!(!rearm);
@@ -410,9 +455,9 @@ mod tests {
     #[test]
     fn no_wrate_withdrawal_bypasses_timer() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
         assert!(q.timer_armed());
-        let r = q.submit(P, None, MraiMode::NoWrate);
+        let r = q.submit(P, None, MraiMode::NoWrate, &none());
         assert_eq!(
             r,
             Submit::SendNow {
@@ -431,9 +476,9 @@ mod tests {
         // before it ever goes out: the neighbor never learned Q, so no
         // withdrawal is needed at all.
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
-        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate);
-        let r = q.submit(Q, None, MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate, &none());
+        let r = q.submit(Q, None, MraiMode::NoWrate, &none());
         assert_eq!(r, Submit::Suppressed);
         let (sent, _) = q.flush(None);
         assert!(sent.is_empty(), "queued announcement must be invalidated");
@@ -442,8 +487,8 @@ mod tests {
     #[test]
     fn wrate_withdrawal_queues_behind_timer() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
-        let r = q.submit(P, None, MraiMode::Wrate);
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate, &none());
+        let r = q.submit(P, None, MraiMode::Wrate, &none());
         assert_eq!(r, Submit::Queued);
         let (sent, rearm) = q.flush(None);
         assert_eq!(sent, vec![Update::withdraw(P)]);
@@ -453,10 +498,10 @@ mod tests {
     #[test]
     fn wrate_withdrawal_sends_immediately_when_idle_and_arms() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate, &none());
         let (_, rearm) = q.flush(None);
         assert!(!rearm);
-        let r = q.submit(P, None, MraiMode::Wrate);
+        let r = q.submit(P, None, MraiMode::Wrate, &none());
         assert_eq!(
             r,
             Submit::SendNow {
@@ -469,8 +514,8 @@ mod tests {
     #[test]
     fn withdraw_of_never_announced_prefix_is_suppressed() {
         let mut q = OutQueue::new();
-        assert_eq!(q.submit(P, None, MraiMode::NoWrate), Submit::Suppressed);
-        assert_eq!(q.submit(P, None, MraiMode::Wrate), Submit::Suppressed);
+        assert_eq!(q.submit(P, None, MraiMode::NoWrate, &none()), Submit::Suppressed);
+        assert_eq!(q.submit(P, None, MraiMode::Wrate, &none()), Submit::Suppressed);
     }
 
     #[test]
@@ -479,9 +524,9 @@ mod tests {
         // queued withdraw is replaced by Announce(A), which the flush then
         // suppresses against the Adj-RIB-out.
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
-        q.submit(P, None, MraiMode::Wrate);
-        let r = q.submit(P, Some(path(&[1])), MraiMode::Wrate);
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate, &none());
+        q.submit(P, None, MraiMode::Wrate, &none());
+        let r = q.submit(P, Some(path(&[1])), MraiMode::Wrate, &none());
         assert_eq!(r, Submit::Queued);
         let (sent, rearm) = q.flush(None);
         assert!(sent.is_empty());
@@ -492,9 +537,9 @@ mod tests {
     #[test]
     fn multiple_prefixes_flush_together_in_prefix_order() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate); // sends, arms
-        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate); // queues
-        q.submit(Prefix(0), Some(path(&[3])), MraiMode::NoWrate); // queues
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none()); // sends, arms
+        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate, &none()); // queues
+        q.submit(Prefix(0), Some(path(&[3])), MraiMode::NoWrate, &none()); // queues
         let (sent, rearm) = q.flush(None);
         assert_eq!(
             sent,
@@ -509,19 +554,19 @@ mod tests {
     #[test]
     fn timer_lifecycle_idle_after_empty_flush() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
         let (sent, rearm) = q.flush(None);
         assert!(sent.is_empty());
         assert!(!rearm);
         // Next announcement goes straight out again.
-        let r = q.submit(P, Some(path(&[9])), MraiMode::NoWrate);
+        let r = q.submit(P, Some(path(&[9])), MraiMode::NoWrate, &none());
         assert!(matches!(r, Submit::SendNow { .. }));
     }
 
     #[test]
     fn reset_clears_state_when_idle() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
         q.flush(None);
         q.reset();
         assert_eq!(q.advertised(P), None);
@@ -533,19 +578,19 @@ mod tests {
         // Under PerPrefix, announcing P must not rate-limit Q.
         let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
         assert!(matches!(
-            q.submit(P, Some(path(&[1])), MraiMode::NoWrate),
+            q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none()),
             Submit::SendNow { .. }
         ));
         assert!(
             matches!(
-                q.submit(Q, Some(path(&[2])), MraiMode::NoWrate),
+                q.submit(Q, Some(path(&[2])), MraiMode::NoWrate, &none()),
                 Submit::SendNow { .. }
             ),
             "a different prefix must not queue behind P's timer"
         );
         // But a second update for P itself queues.
         assert_eq!(
-            q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate),
+            q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate, &none()),
             Submit::Queued
         );
         assert!(q.is_armed(P));
@@ -556,10 +601,10 @@ mod tests {
     #[test]
     fn per_prefix_flush_only_touches_its_prefix() {
         let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
-        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate);
-        q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate); // queued
-        q.submit(Q, Some(path(&[2, 4])), MraiMode::NoWrate); // queued
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        q.submit(Q, Some(path(&[2])), MraiMode::NoWrate, &none());
+        q.submit(P, Some(path(&[1, 3])), MraiMode::NoWrate, &none()); // queued
+        q.submit(Q, Some(path(&[2, 4])), MraiMode::NoWrate, &none()); // queued
         let (sent, rearm) = q.flush(Some(P));
         assert_eq!(sent, vec![Update::announce(P, path(&[1, 3]))]);
         assert!(rearm);
@@ -573,7 +618,7 @@ mod tests {
     #[test]
     fn per_prefix_timer_idles_after_empty_flush() {
         let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
         let (sent, rearm) = q.flush(Some(P));
         assert!(sent.is_empty());
         assert!(!rearm);
@@ -584,13 +629,13 @@ mod tests {
     #[test]
     fn per_prefix_wrate_withdrawal_queues_only_its_prefix() {
         let mut q = OutQueue::with_scope(MraiScope::PerPrefix);
-        q.submit(P, Some(path(&[1])), MraiMode::Wrate);
-        assert_eq!(q.submit(P, None, MraiMode::Wrate), Submit::Queued);
+        q.submit(P, Some(path(&[1])), MraiMode::Wrate, &none());
+        assert_eq!(q.submit(P, None, MraiMode::Wrate, &none()), Submit::Queued);
         // An idle prefix's withdrawal goes straight out.
-        q.submit(Q, Some(path(&[2])), MraiMode::Wrate);
+        q.submit(Q, Some(path(&[2])), MraiMode::Wrate, &none());
         let (s2, _) = q.flush(Some(Q));
         assert!(s2.is_empty());
-        let r = q.submit(Q, None, MraiMode::Wrate);
+        let r = q.submit(Q, None, MraiMode::Wrate, &none());
         assert!(matches!(r, Submit::SendNow { arm_timer: true, .. }));
     }
 
@@ -598,7 +643,39 @@ mod tests {
     #[should_panic(expected = "armed MRAI timer")]
     fn reset_rejects_armed_timer() {
         let mut q = OutQueue::new();
-        q.submit(P, Some(path(&[1])), MraiMode::NoWrate);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
         q.reset();
+    }
+
+    #[test]
+    fn coalesced_flush_carries_the_union_of_contributing_roots() {
+        // Root 1 sends the first announcement (arming the timer), then
+        // roots 2 and 3 each replace the queued update. The flushed
+        // message must answer for roots 2 and 3 — the displaced intents —
+        // with the depth of the newest one.
+        let mut q = OutQueue::new();
+        let first = q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &Provenance::root(1));
+        match first {
+            Submit::SendNow { update, .. } => assert_eq!(update.provenance.roots(), &[1]),
+            other => panic!("expected SendNow, got {other:?}"),
+        }
+        q.submit(P, Some(path(&[2])), MraiMode::NoWrate, &Provenance::root(2));
+        q.submit(P, Some(path(&[3])), MraiMode::NoWrate, &Provenance::root(3).child());
+        let (sent, _) = q.flush(None);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].provenance.roots(), &[2, 3], "displaced root kept");
+        assert_eq!(sent[0].provenance.depth(), 1, "newest intent's depth");
+    }
+
+    #[test]
+    fn armed_count_matches_scope() {
+        let mut q = OutQueue::new();
+        assert_eq!(q.armed_count(), 0);
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        assert_eq!(q.armed_count(), 1);
+        let mut pp = OutQueue::with_scope(MraiScope::PerPrefix);
+        pp.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none());
+        pp.submit(Q, Some(path(&[2])), MraiMode::NoWrate, &none());
+        assert_eq!(pp.armed_count(), 2);
     }
 }

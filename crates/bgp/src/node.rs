@@ -15,6 +15,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use bgpscale_obs::Provenance;
 use bgpscale_simkernel::SimTime;
 use bgpscale_topology::{AsId, Relationship};
 
@@ -270,26 +271,46 @@ impl BgpNode {
         self.out[slot as usize].timer_armed()
     }
 
+    /// Number of armed MRAI timers on `slot`'s output queue (each one
+    /// backed by exactly one outstanding expiry event). The simulator uses
+    /// this to keep its timer-occupancy accounting exact across session
+    /// resets.
+    pub fn armed_timer_count(&self, slot: u32) -> u32 {
+        self.out[slot as usize].armed_count() as u32
+    }
+
     /// Starts originating `prefix`.
     pub fn originate(&mut self, prefix: Prefix) -> Actions {
+        self.originate_caused(prefix, &Provenance::none())
+    }
+
+    /// [`BgpNode::originate`] with a provenance stamp for the resulting
+    /// exports. The unstamped entry points delegate here with
+    /// [`Provenance::none`]; stamping never changes routing behavior.
+    pub fn originate_caused(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
         let slots = self.sessions.len();
         let st = self
             .prefixes
             .entry(prefix)
             .or_insert_with(|| PrefixState::new(slots));
         st.originated = true;
-        self.reevaluate(prefix)
+        self.reevaluate(prefix, cause)
     }
 
     /// Stops originating `prefix` (the "DOWN" half of a C-event).
     pub fn withdraw_origin(&mut self, prefix: Prefix) -> Actions {
+        self.withdraw_origin_caused(prefix, &Provenance::none())
+    }
+
+    /// [`BgpNode::withdraw_origin`] with a provenance stamp.
+    pub fn withdraw_origin_caused(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
         let slots = self.sessions.len();
         let st = self
             .prefixes
             .entry(prefix)
             .or_insert_with(|| PrefixState::new(slots));
         st.originated = false;
-        self.reevaluate(prefix)
+        self.reevaluate(prefix, cause)
     }
 
     /// Processes one UPDATE received from `from`, with damping disabled
@@ -314,6 +335,10 @@ impl BgpNode {
             .get(&from)
             .unwrap_or_else(|| panic!("{}: update from non-neighbor {from}", self.id));
         let prefix = update.prefix;
+        // Exports triggered by this message are one causal hop further from
+        // the root cause than the message itself. Computed before the match
+        // below consumes the update.
+        let cause = update.provenance.child();
         let slots = self.sessions.len();
         let st = self
             .prefixes
@@ -358,7 +383,7 @@ impl BgpNode {
         let st = self.prefixes.get_mut(&prefix).expect("created above");
         st.rib_in[slot as usize] = incoming;
 
-        let mut actions = self.reevaluate(prefix);
+        let mut actions = self.reevaluate(prefix, &cause);
         actions.rfd_wakeups.extend(wakeups);
         actions
     }
@@ -369,6 +394,17 @@ impl BgpNode {
     /// re-runs. Early wake-ups (obsoleted by later flaps that extended
     /// suppression) are no-ops — the later flap scheduled its own wake-up.
     pub fn rfd_reuse(&mut self, slot: u32, prefix: Prefix, now: SimTime) -> Actions {
+        self.rfd_reuse_caused(slot, prefix, now, &Provenance::none())
+    }
+
+    /// [`BgpNode::rfd_reuse`] with a provenance stamp.
+    pub fn rfd_reuse_caused(
+        &mut self,
+        slot: u32,
+        prefix: Prefix,
+        now: SimTime,
+        cause: &Provenance,
+    ) -> Actions {
         let Some(cfg) = self.rfd.clone() else {
             return Actions::default();
         };
@@ -376,7 +412,7 @@ impl BgpNode {
             return Actions::default();
         };
         if state.maybe_reuse(now, &cfg) && self.prefixes.contains_key(&prefix) {
-            self.reevaluate(prefix)
+            self.reevaluate(prefix, cause)
         } else {
             Actions::default()
         }
@@ -402,6 +438,11 @@ impl BgpNode {
     /// # Panics
     /// Panics if the session is already down.
     pub fn session_down(&mut self, slot: u32) -> Actions {
+        self.session_down_caused(slot, &Provenance::none())
+    }
+
+    /// [`BgpNode::session_down`] with a provenance stamp.
+    pub fn session_down_caused(&mut self, slot: u32, cause: &Provenance) -> Actions {
         assert!(self.active[slot as usize], "{}: session {slot} already down", self.id);
         self.active[slot as usize] = false;
         self.out[slot as usize].force_reset();
@@ -415,7 +456,7 @@ impl BgpNode {
             .collect();
         for prefix in affected {
             self.prefixes.get_mut(&prefix).expect("collected above").rib_in[slot as usize] = None;
-            let a = self.reevaluate(prefix);
+            let a = self.reevaluate(prefix, cause);
             actions.merge(a);
         }
         actions
@@ -429,11 +470,18 @@ impl BgpNode {
     /// # Panics
     /// Panics if the session is already up.
     pub fn session_up(&mut self, slot: u32) -> Actions {
+        self.session_up_caused(slot, &Provenance::none())
+    }
+
+    /// [`BgpNode::session_up`] with a provenance stamp for the replayed
+    /// table.
+    pub fn session_up_caused(&mut self, slot: u32, cause: &Provenance) -> Actions {
         assert!(!self.active[slot as usize], "{}: session {slot} already up", self.id);
         self.active[slot as usize] = true;
         debug_assert!(!self.out[slot as usize].timer_armed());
         let mut actions = Actions::default();
         let session = self.sessions[slot as usize];
+        let stamp = cause.with_rel(session.rel);
         let snapshot: Vec<(Prefix, u32, AsPath)> = self
             .prefixes
             .iter()
@@ -453,7 +501,8 @@ impl BgpNode {
             let export_path = AsPath::prepended(self.id, &path);
             // The initial table exchange is not rate-limited; MRAI governs
             // subsequent updates only.
-            if let Some(update) = self.out[slot as usize].send_unlimited(prefix, export_path) {
+            if let Some(update) = self.out[slot as usize].send_unlimited(prefix, export_path, &stamp)
+            {
                 actions.sends.push((slot, update));
             }
         }
@@ -522,8 +571,10 @@ impl BgpNode {
 
     /// Re-runs the decision process for `prefix`; on a best-route change,
     /// runs the export filters and submits new intents to every output
-    /// queue.
-    fn reevaluate(&mut self, prefix: Prefix) -> Actions {
+    /// queue. Each submission is stamped with `cause` plus the sending
+    /// edge's Gao–Rexford relation, so attribution survives MRAI
+    /// coalescing downstream.
+    fn reevaluate(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
         let st = self.prefixes.get_mut(&prefix).expect("state exists");
 
         // Decision process.
@@ -584,8 +635,14 @@ impl BgpNode {
                     if !self.active[slot as usize] {
                         continue;
                     }
+                    let session = self.sessions[slot as usize];
                     let scope = self.out[slot as usize].scope();
-                    let submit = self.out[slot as usize].submit(prefix, None, self.mode);
+                    let submit = self.out[slot as usize].submit(
+                        prefix,
+                        None,
+                        self.mode,
+                        &cause.with_rel(session.rel),
+                    );
                     actions.absorb(slot, submit, scope);
                 }
             }
@@ -615,7 +672,12 @@ impl BgpNode {
                         None
                     };
                     let scope = self.out[slot as usize].scope();
-                    let submit = self.out[slot as usize].submit(prefix, intent, self.mode);
+                    let submit = self.out[slot as usize].submit(
+                        prefix,
+                        intent,
+                        self.mode,
+                        &cause.with_rel(session.rel),
+                    );
                     actions.absorb(slot, submit, scope);
                 }
             }

@@ -4,7 +4,7 @@
 
 use bgpscale_bgp::decision::{preference_key, select_best, Candidate};
 use bgpscale_bgp::mrai::{OutQueue, Submit};
-use bgpscale_bgp::{AsPath, MraiMode, Prefix, Update, UpdateKind};
+use bgpscale_bgp::{AsPath, MraiMode, Prefix, Provenance, Update, UpdateKind};
 use bgpscale_topology::{AsId, Relationship};
 use proptest::prelude::*;
 
@@ -101,7 +101,7 @@ proptest! {
         for (prefix, path_id, flush_after) in script {
             let path: Option<AsPath> = path_id.map(|k| AsPath::from(vec![AsId(100 + k), AsId(999)]));
             intent.insert(prefix, path.clone());
-            match q.submit(prefix, path, mode) {
+            match q.submit(prefix, path, mode, &Provenance::none()) {
                 Submit::SendNow { update, .. } => apply(&mut neighbor, update)?,
                 Submit::Queued | Submit::Suppressed => {}
             }
@@ -140,10 +140,10 @@ proptest! {
         path in path_strategy(),
     ) {
         let mut q = OutQueue::new();
-        let first = q.submit(Prefix(0), Some(path.clone()), mode);
+        let first = q.submit(Prefix(0), Some(path.clone()), mode, &Provenance::none());
         let sent_now = matches!(first, Submit::SendNow { .. });
         prop_assert!(sent_now);
-        let second = q.submit(Prefix(0), Some(path), mode);
+        let second = q.submit(Prefix(0), Some(path), mode, &Provenance::none());
         prop_assert_eq!(second, Submit::Suppressed);
     }
 }

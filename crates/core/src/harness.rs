@@ -26,7 +26,10 @@
 use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, Prefix};
-use bgpscale_obs::{MetricsRegistry, Recorder, SimObserver, TraceRecord};
+use bgpscale_obs::{
+    MetricsRegistry, Recorder, RecorderOptions, SimObserver, TimeSeries, TimeSeriesSpec,
+    TraceRecord,
+};
 use bgpscale_simkernel::pool::run_indexed;
 use bgpscale_simkernel::rng::{hash64_pair, Rng, Xoshiro256StarStar};
 use bgpscale_topology::{generate, AsId, GrowthScenario, NodeType, Relationship};
@@ -49,6 +52,11 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Protocol configuration (MRAI mode etc.).
     pub bgp: BgpConfig,
+    /// Per-phase simulator event budget override; `None` keeps the
+    /// simulator's (huge) default. Small budgets exercise the structured
+    /// failure path: the harness panics with the budget snapshot, which
+    /// `repro profile` catches and renders.
+    pub event_limit: Option<u64>,
 }
 
 /// Churn summary for one node type.
@@ -152,6 +160,9 @@ fn measure_event_observed<O: SimObserver>(
     obs: O,
 ) -> (EventMeasurement, O) {
     let mut sim = template.instantiate_observed(hash64_pair(sim_seed, k as u64), obs);
+    if let Some(limit) = cfg.event_limit {
+        sim.set_event_limit(limit);
+    }
     let outcome = run_c_event(&mut sim, origin, Prefix(k as u32))
         .unwrap_or_else(|e| panic!("{} n={} event {k}: {e}", cfg.scenario, cfg.n));
 
@@ -226,6 +237,17 @@ pub fn run_experiment_jobs(cfg: &ExperimentConfig, jobs: usize) -> ChurnReport {
     fold_measurements(cfg, &setup, &measurements)
 }
 
+/// What telemetry [`run_experiment_observed_with`] should collect beyond
+/// the always-on metric counters.
+#[derive(Clone, Debug, Default)]
+pub struct ObserveOptions {
+    /// Keep 1-in-`n` trace records when `Some(n)` (`Some(1)` keeps all).
+    pub trace_sample: Option<u64>,
+    /// Record a simulated-time series with the given bin width
+    /// (microseconds of simulated time) when `Some`.
+    pub timeseries_bin_us: Option<u64>,
+}
+
 /// The churn report plus the deterministic telemetry of the run.
 #[derive(Clone, Debug)]
 pub struct ObservedReport {
@@ -236,6 +258,12 @@ pub struct ObservedReport {
     /// Trace records of all C-events, concatenated in event-index order
     /// (empty unless a trace sample rate was requested).
     pub trace: Vec<TraceRecord>,
+    /// Per-event time series merged in event-index order (`None` unless
+    /// [`ObserveOptions::timeseries_bin_us`] was set). Bins overlay across
+    /// events — every event's clock starts at zero, so bin `i` aggregates
+    /// the interval `[i·bin_us, (i+1)·bin_us)` of *every* C-event: counts
+    /// add, peaks take the max.
+    pub timeseries: Option<TimeSeries>,
 }
 
 /// Runs the experiment with a [`Recorder`] attached to every C-event's
@@ -253,7 +281,35 @@ pub fn run_experiment_observed(
     jobs: usize,
     trace_sample: Option<u64>,
 ) -> ObservedReport {
+    run_experiment_observed_with(
+        cfg,
+        jobs,
+        &ObserveOptions {
+            trace_sample,
+            timeseries_bin_us: None,
+        },
+    )
+}
+
+/// [`run_experiment_observed`] with the full option set: optional trace
+/// sampling plus the simulated-time series recorder. The time series is
+/// integer-only and merged in event-index order, so its JSON rendering is
+/// byte-identical for every `jobs` value, exactly like the metrics.
+///
+/// # Panics
+/// As [`run_experiment`].
+pub fn run_experiment_observed_with(
+    cfg: &ExperimentConfig,
+    jobs: usize,
+    opts: &ObserveOptions,
+) -> ObservedReport {
     let setup = ExperimentSetup::build(cfg);
+    // One shared spec: every event's recorder bins against the same node
+    //-type table (Arc-shared, never copied per event).
+    let spec = opts.timeseries_bin_us.map(|bin_us| TimeSeriesSpec {
+        bin_us,
+        node_types: Arc::from(setup.node_types.as_slice()),
+    });
     let observed: Vec<(EventMeasurement, Recorder)> = {
         let _span = bgpscale_obs::span!("run_events");
         run_indexed(jobs, setup.c_nodes.len(), |k| {
@@ -264,7 +320,13 @@ pub fn run_experiment_observed(
                 setup.c_nodes[k],
                 k,
                 setup.sim_seed,
-                Recorder::with_trace(k as u32, trace_sample),
+                Recorder::with_options(
+                    k as u32,
+                    RecorderOptions {
+                        trace_sample: opts.trace_sample,
+                        timeseries: spec.clone(),
+                    },
+                ),
             )
         })
     };
@@ -272,10 +334,18 @@ pub fn run_experiment_observed(
     let _span = bgpscale_obs::span!("fold_telemetry");
     let mut metrics = MetricsRegistry::new();
     let mut trace = Vec::new();
+    let mut timeseries: Option<TimeSeries> = None;
     let mut measurements = Vec::with_capacity(observed.len());
     for (m, recorder) in observed {
         metrics.merge(&recorder.registry());
-        trace.extend(recorder.into_trace());
+        let (records, ts) = recorder.into_parts();
+        trace.extend(records);
+        if let Some(ts) = ts {
+            match timeseries.as_mut() {
+                None => timeseries = Some(ts),
+                Some(total) => total.merge(&ts),
+            }
+        }
         measurements.push(m);
     }
     metrics.inc("experiment.events", measurements.len() as u64);
@@ -284,6 +354,7 @@ pub fn run_experiment_observed(
         report,
         metrics,
         trace,
+        timeseries,
     }
 }
 
@@ -407,6 +478,7 @@ mod tests {
             events,
             seed,
             bgp: BgpConfig::default(),
+            event_limit: None,
         })
     }
 
@@ -428,6 +500,7 @@ mod tests {
             events: 6,
             seed: 0xDE7,
             bgp: BgpConfig::default(),
+            event_limit: None,
         };
         let sequential = run_experiment_jobs(&cfg, 1);
         for jobs in [4, 8] {
@@ -452,6 +525,7 @@ mod tests {
             events: 6,
             seed: 0xDE7,
             bgp: BgpConfig::default(),
+            event_limit: None,
         };
         let base = run_experiment_observed(&cfg, 1, Some(5));
         let base_json = base.metrics.to_json();
@@ -479,6 +553,94 @@ mod tests {
         }
     }
 
+    /// Satellite of the provenance PR: `timeseries.json` and the
+    /// provenance counters are byte-identical for jobs = 1, 4, 8.
+    #[test]
+    fn timeseries_and_provenance_are_byte_identical_across_jobs() {
+        let cfg = ExperimentConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 200,
+            events: 6,
+            seed: 0xDE7,
+            bgp: BgpConfig::default(),
+            event_limit: None,
+        };
+        let opts = ObserveOptions {
+            trace_sample: None,
+            timeseries_bin_us: Some(100_000),
+        };
+        let base = run_experiment_observed_with(&cfg, 1, &opts);
+        let base_ts = base.timeseries.as_ref().expect("time series requested");
+        let base_ts_json = base_ts.to_json();
+        assert_eq!(base_ts.events, cfg.events as u32);
+        assert!(base_ts.total_updates() > 0, "bins must see traffic");
+        assert!(base.metrics.counter("provenance.stamped") > 0);
+        assert_eq!(
+            base.metrics.counter("provenance.unstamped"),
+            0,
+            "every delivery must carry a root-cause stamp"
+        );
+        let prov_counters = |r: &ObservedReport| {
+            [
+                r.metrics.counter("provenance.stamped"),
+                r.metrics.counter("provenance.coalesced"),
+                r.metrics.counter("provenance.depth_sum"),
+                r.metrics.counter("provenance.to_customer"),
+                r.metrics.counter("provenance.to_peer"),
+                r.metrics.counter("provenance.to_provider"),
+                r.metrics.counter("provenance.roots"),
+            ]
+        };
+        for jobs in [4, 8] {
+            let other = run_experiment_observed_with(&cfg, jobs, &opts);
+            assert_eq!(
+                base_ts_json,
+                other.timeseries.as_ref().unwrap().to_json(),
+                "timeseries.json diverged at jobs={jobs}"
+            );
+            assert_eq!(
+                prov_counters(&base),
+                prov_counters(&other),
+                "provenance counters diverged at jobs={jobs}"
+            );
+            assert_eq!(base.report, other.report, "report diverged at jobs={jobs}");
+        }
+    }
+
+    /// Provenance-enabled runs leave the churn report unchanged: stamps
+    /// are telemetry riding along the messages, never protocol input.
+    #[test]
+    fn timeseries_recording_leaves_the_report_unchanged() {
+        let cfg = ExperimentConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 200,
+            events: 4,
+            seed: 21,
+            bgp: BgpConfig::default(),
+            event_limit: None,
+        };
+        let plain = run_experiment_jobs(&cfg, 1);
+        let observed = run_experiment_observed_with(
+            &cfg,
+            2,
+            &ObserveOptions {
+                trace_sample: Some(7),
+                timeseries_bin_us: Some(50_000),
+            },
+        );
+        assert_eq!(plain, observed.report);
+        let ts = observed.timeseries.expect("time series requested");
+        // The time series and the churn counters watched the same world:
+        // both count exactly the delivered updates of the measured phases
+        // plus the (uncounted) warm-up announcements.
+        assert_eq!(
+            ts.total_updates(),
+            observed.metrics.counter("events.deliver"),
+            "binned updates must equal delivered updates"
+        );
+        assert!(!ts.convergence_durations_us().is_empty());
+    }
+
     /// Attaching a recorder must not perturb the simulation itself.
     #[test]
     fn observed_report_matches_unobserved_report() {
@@ -488,6 +650,7 @@ mod tests {
             events: 4,
             seed: 21,
             bgp: BgpConfig::default(),
+            event_limit: None,
         };
         let plain = run_experiment_jobs(&cfg, 1);
         let observed = run_experiment_observed(&cfg, 1, None);

@@ -42,6 +42,7 @@
 //!     events: 3,
 //!     seed: 7,
 //!     bgp: Default::default(),
+//!     event_limit: None,
 //! });
 //! // Tier-1 nodes hear about every C-event at least twice (DOWN + UP).
 //! assert!(report.by_type(NodeType::T).u_total >= 2.0);
@@ -56,7 +57,7 @@ pub mod levent;
 pub mod sim;
 
 pub use harness::{
-    run_experiment, run_experiment_jobs, run_experiment_observed, ChurnReport, ExperimentConfig,
-    ObservedReport,
+    run_experiment, run_experiment_jobs, run_experiment_observed, run_experiment_observed_with,
+    ChurnReport, ExperimentConfig, ObserveOptions, ObservedReport,
 };
 pub use sim::{BudgetSnapshot, SimTemplate, Simulator};

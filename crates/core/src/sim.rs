@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use bgpscale_bgp::node::Actions;
 use bgpscale_bgp::{BgpConfig, BgpNode, Prefix, Update};
-use bgpscale_obs::{EventKind, NoopObserver, SimObserver, UpdateClass};
+use bgpscale_obs::{EventKind, NoopObserver, Provenance, RootCauseKind, SimObserver, UpdateClass};
 use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
 use bgpscale_simkernel::{EventQueue, SimDuration, SimTime};
 use bgpscale_topology::{AsGraph, AsId};
@@ -146,6 +146,13 @@ pub struct Simulator<O: SimObserver = NoopObserver> {
     down_links: std::collections::HashSet<(AsId, AsId)>,
     /// Messages lost because their link failed while they were in flight.
     messages_dropped: u64,
+    /// Next root-cause id for provenance stamps. Ids are allocated
+    /// sequentially per simulator, so they double as indices into the
+    /// observer's root table.
+    next_root: u32,
+    /// MRAI timers currently armed across all nodes (occupancy telemetry).
+    /// Each armed timer corresponds to one outstanding valid expiry event.
+    armed_timers: u64,
 }
 
 fn link_key(a: AsId, b: AsId) -> (AsId, AsId) {
@@ -239,6 +246,8 @@ impl SimTemplate {
             mrai_epoch,
             down_links: Default::default(),
             messages_dropped: 0,
+            next_root: 0,
+            armed_timers: 0,
         }
     }
 }
@@ -335,6 +344,17 @@ impl<O: SimObserver> Simulator<O> {
         self.down_links.contains(&link_key(a, b))
     }
 
+    /// Allocates a fresh root-cause id for a workload action at `node`,
+    /// notifies the observer, and returns the depth-0 provenance stamp
+    /// every update caused by the action will carry (or derive from via
+    /// [`Provenance::child`]).
+    fn new_root(&mut self, kind: RootCauseKind, node: AsId) -> Provenance {
+        let id = self.next_root;
+        self.next_root += 1;
+        self.obs.on_root_cause(id, kind, node, self.queue.now());
+        Provenance::root(id)
+    }
+
     /// Fails the `a`–`b` link (an "L-event"): both BGP sessions drop,
     /// each side invalidates everything learned from the other and
     /// notifies its remaining neighbors, and any in-flight messages on
@@ -351,10 +371,21 @@ impl<O: SimObserver> Simulator<O> {
             self.down_links.insert(link_key(a, b)),
             "link {a}–{b} already down"
         );
+        // One root cause covers both directions of the failure: churn on
+        // either side is attributed to the same L-event.
+        let cause = self.new_root(RootCauseKind::SessionDown, a);
         for (x, y) in [(a, b), (b, a)] {
             let slot = self.nodes[x.index()].slot_of(y).expect("adjacent");
             self.mrai_epoch[x.index()][slot as usize] += 1;
-            let actions = self.nodes[x.index()].session_down(slot);
+            // `session_down` force-resets the output queue, silently
+            // disarming its timers; account for them before they vanish so
+            // the occupancy gauge stays exact.
+            let disarmed = u64::from(self.nodes[x.index()].armed_timer_count(slot));
+            if disarmed > 0 {
+                self.armed_timers -= disarmed;
+                self.obs.on_timer_occupancy(self.armed_timers, self.queue.now());
+            }
+            let actions = self.nodes[x.index()].session_down_caused(slot, &cause);
             self.apply_actions(x, actions);
         }
     }
@@ -369,22 +400,25 @@ impl<O: SimObserver> Simulator<O> {
             self.down_links.remove(&link_key(a, b)),
             "link {a}–{b} is not down"
         );
+        let cause = self.new_root(RootCauseKind::SessionUp, a);
         for (x, y) in [(a, b), (b, a)] {
             let slot = self.nodes[x.index()].slot_of(y).expect("adjacent");
-            let actions = self.nodes[x.index()].session_up(slot);
+            let actions = self.nodes[x.index()].session_up_caused(slot, &cause);
             self.apply_actions(x, actions);
         }
     }
 
     /// Node `origin` starts originating `prefix` (the "UP" action).
     pub fn originate(&mut self, origin: AsId, prefix: Prefix) {
-        let actions = self.nodes[origin.index()].originate(prefix);
+        let cause = self.new_root(RootCauseKind::Originate, origin);
+        let actions = self.nodes[origin.index()].originate_caused(prefix, &cause);
         self.apply_actions(origin, actions);
     }
 
     /// Node `origin` stops originating `prefix` (the "DOWN" action).
     pub fn withdraw(&mut self, origin: AsId, prefix: Prefix) {
-        let actions = self.nodes[origin.index()].withdraw_origin(prefix);
+        let cause = self.new_root(RootCauseKind::WithdrawOrigin, origin);
+        let actions = self.nodes[origin.index()].withdraw_origin_caused(prefix, &cause);
         self.apply_actions(origin, actions);
     }
 
@@ -486,6 +520,9 @@ impl<O: SimObserver> Simulator<O> {
                     .slot_of(from)
                     .expect("delivery from non-neighbor");
                 self.churn.record(to, slot, update.kind.is_withdraw(), now);
+                // Depth the arriving message will reach once enqueued —
+                // the receiver-side backlog signal.
+                let inbox_depth = self.inbox[to.index()].len() as u32 + 1;
                 self.obs.on_message(
                     from,
                     to,
@@ -497,6 +534,8 @@ impl<O: SimObserver> Simulator<O> {
                     },
                     update.prefix.0,
                     update.kind.path().map(|p| p.len() as u32),
+                    &update.provenance,
+                    inbox_depth,
                     now,
                 );
                 self.inbox[to.index()].push_back((from, update));
@@ -532,6 +571,10 @@ impl<O: SimObserver> Simulator<O> {
                 if epoch != self.mrai_epoch[node.index()][slot as usize] {
                     return; // stale expiry from before a session reset
                 }
+                // A valid expiry consumes one armed timer; a rearm in the
+                // resulting actions re-adds it in `apply_actions`.
+                self.armed_timers -= 1;
+                self.obs.on_timer_occupancy(self.armed_timers, now);
                 let actions = match prefix {
                     None => self.nodes[node.index()].mrai_expired(slot),
                     Some(p) => self.nodes[node.index()].mrai_prefix_expired(slot, p),
@@ -541,7 +584,8 @@ impl<O: SimObserver> Simulator<O> {
                 self.apply_actions(node, actions);
             }
             SimEvent::RfdReuse { node, slot, prefix } => {
-                let actions = self.nodes[node.index()].rfd_reuse(slot, prefix, now);
+                let cause = self.new_root(RootCauseKind::RfdReuse, node);
+                let actions = self.nodes[node.index()].rfd_reuse_caused(slot, prefix, now, &cause);
                 self.apply_actions(node, actions);
             }
         }
@@ -550,6 +594,7 @@ impl<O: SimObserver> Simulator<O> {
     /// Schedules the transmissions and timer arms a protocol step produced.
     fn apply_actions(&mut self, node: AsId, actions: Actions) {
         let now = self.queue.now();
+        let armed_delta = (actions.arm_timers.len() + actions.arm_prefix_timers.len()) as u64;
         for (slot, update) in actions.sends {
             let to = self.nodes[node.index()].sessions()[slot as usize].peer;
             self.queue.schedule(
@@ -591,6 +636,10 @@ impl<O: SimObserver> Simulator<O> {
             debug_assert!(at >= now, "reuse time in the past");
             self.queue
                 .schedule(at.max(now), SimEvent::RfdReuse { node, slot, prefix });
+        }
+        if armed_delta > 0 {
+            self.armed_timers += armed_delta;
+            self.obs.on_timer_occupancy(self.armed_timers, now);
         }
     }
 

@@ -17,6 +17,11 @@
 //!                  also records observer off/metrics/trace overhead
 //!   profile        run one observed cell and print a phase profile
 //!                  (see --scenario, --cell-n, --check)
+//!   report         run one cell under NO-WRATE *and* WRATE with the
+//!                  simulated-time series recorder and write a
+//!                  self-contained HTML churn-provenance report plus a
+//!                  timeseries.json artifact (see --bin-us, --report-out,
+//!                  --timeseries-out, --check)
 //!
 //! options:
 //!   --tiny         seconds-scale smoke run (n ≤ 900, 5 events). NOTE:
@@ -43,10 +48,19 @@
 //!   --trace-out <file>    write sampled per-event JSONL trace records
 //!   --trace-sample <n>    keep 1 in n trace records (default 1 = all;
 //!                  only meaningful with --trace-out)
-//!   --scenario <s> (profile only) growth scenario (default BASELINE)
-//!   --cell-n <n>   (profile only) network size (default: first sweep size)
-//!   --check        (profile only) exit non-zero if any expected phase
-//!                  span recorded nothing or no events were processed
+//!   --scenario <s> (profile/report) growth scenario (default BASELINE)
+//!   --cell-n <n>   (profile/report) network size (default: first sweep size)
+//!   --event-limit <n>  (profile only) per-phase simulator event budget;
+//!                  a blown budget prints the harness's budget snapshot
+//!                  (queue depth, pending events by kind, busiest inbox)
+//!                  and exits non-zero instead of crashing
+//!   --bin-us <n>   (report only) time-series bin width in simulated
+//!                  microseconds (default 100000 = 100 ms)
+//!   --report-out <file>     (report only) HTML path (default report.html)
+//!   --timeseries-out <file> (report only) JSON path (default timeseries.json)
+//!   --check        (profile) exit non-zero if any expected phase span
+//!                  recorded nothing or no events were processed;
+//!                  (report) exit non-zero if any report panel is empty
 //!
 //! Set BGPSCALE_LOG=quiet|info|debug to control progress chatter on
 //! stderr (default info).
@@ -55,18 +69,19 @@
 use std::io::Write as _;
 use std::time::Instant;
 
-use bgpscale_experiments::{figures, profile};
+use bgpscale_experiments::{figures, htmlreport, profile};
 use bgpscale_experiments::{Figure, RunConfig, Sweeper};
 use bgpscale_obs::{log, TraceRecord, TraceWriter};
 use bgpscale_topology::GrowthScenario;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench|profile> \
+        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench|profile|report> \
          [--tiny|--quick|--full] [--seed N] [--events K] [--sizes a,b,c] [--csv DIR] \
          [--jobs N] [--bench-jobs a,b,c] [--out FILE] \
          [--metrics-out FILE] [--trace-out FILE] [--trace-sample N] \
-         [--scenario S] [--cell-n N] [--check]"
+         [--scenario S] [--cell-n N] [--event-limit N] [--bin-us N] \
+         [--report-out FILE] [--timeseries-out FILE] [--check]"
     );
     std::process::exit(2);
 }
@@ -87,11 +102,19 @@ struct Options {
     trace_out: Option<std::path::PathBuf>,
     /// Keep 1 in N trace records (1 = all).
     trace_sample: u64,
-    /// `profile`: the cell's growth scenario.
+    /// `profile`/`report`: the cell's growth scenario.
     profile_scenario: GrowthScenario,
-    /// `profile`: the cell's network size (default: first sweep size).
+    /// `profile`/`report`: the cell's network size (default: first sweep size).
     cell_n: Option<usize>,
-    /// `profile`: fail the process if the profile looks empty.
+    /// `profile`: per-phase simulator event budget override.
+    event_limit: Option<u64>,
+    /// `report`: time-series bin width in simulated microseconds.
+    bin_us: u64,
+    /// `report`: where to write the HTML page.
+    report_out: std::path::PathBuf,
+    /// `report`: where to write the raw time series.
+    timeseries_out: std::path::PathBuf,
+    /// `profile`/`report`: fail the process if the output looks empty.
     check: bool,
 }
 
@@ -108,6 +131,10 @@ fn parse_args() -> Options {
     let mut trace_sample = 1u64;
     let mut profile_scenario = GrowthScenario::Baseline;
     let mut cell_n = None;
+    let mut event_limit = None;
+    let mut bin_us = 100_000u64;
+    let mut report_out = std::path::PathBuf::from("report.html");
+    let mut timeseries_out = std::path::PathBuf::from("timeseries.json");
     let mut check = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -180,6 +207,25 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 cell_n = Some(v.parse().unwrap_or_else(|_| usage()));
             }
+            "--event-limit" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                event_limit = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--bin-us" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                bin_us = v.parse().unwrap_or_else(|_| usage());
+                if bin_us == 0 {
+                    usage();
+                }
+            }
+            "--report-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                report_out = std::path::PathBuf::from(v);
+            }
+            "--timeseries-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                timeseries_out = std::path::PathBuf::from(v);
+            }
             "--check" => check = true,
             _ => usage(),
         }
@@ -196,6 +242,10 @@ fn parse_args() -> Options {
         trace_sample,
         profile_scenario,
         cell_n,
+        event_limit,
+        bin_us,
+        report_out,
+        timeseries_out,
         check,
     }
 }
@@ -262,8 +312,17 @@ fn run_profile_target(opts: &Options) -> std::io::Result<bool> {
         seed: opts.cfg.seed,
         jobs: opts.jobs,
         trace_sample: opts.trace_out.as_ref().map(|_| opts.trace_sample),
+        event_limit: opts.event_limit,
     };
-    let out = profile::run_profile(&cfg);
+    let out = match profile::run_profile(&cfg) {
+        Ok(out) => out,
+        Err(diagnosis) => {
+            // Satellite fix: a blown event budget renders the harness's
+            // budget snapshot instead of crashing the process.
+            eprintln!("profile FAILED: {diagnosis}");
+            return Ok(false);
+        }
+    };
     print!("{}", profile::render(&cfg, &out));
     if let Some(path) = &opts.metrics_out {
         write_metrics(path, &out.observed.metrics)?;
@@ -277,6 +336,41 @@ fn run_profile_target(opts: &Options) -> std::io::Result<bool> {
             return Ok(false);
         }
         log!(Info, "profile check passed");
+    }
+    Ok(true)
+}
+
+/// `repro report`: run one cell under both MRAI modes with the time-series
+/// recorder, write the self-contained HTML page and the raw
+/// `timeseries.json`, and optionally gate on [`htmlreport::check`].
+fn run_report_target(opts: &Options) -> std::io::Result<bool> {
+    let cfg = htmlreport::ReportConfig {
+        scenario: opts.profile_scenario,
+        n: opts.cell_n.unwrap_or_else(|| opts.cfg.sizes.first().copied().unwrap_or(300)),
+        events: opts.cfg.events,
+        seed: opts.cfg.seed,
+        jobs: opts.jobs,
+        bin_us: opts.bin_us,
+    };
+    log!(
+        Info,
+        "report: {} n={} events={} bin={}us …",
+        cfg.scenario,
+        cfg.n,
+        cfg.events,
+        cfg.bin_us
+    );
+    let out = htmlreport::run_report(&cfg);
+    std::fs::write(&opts.report_out, &out.html)?;
+    log!(Info, "wrote HTML report to {}", opts.report_out.display());
+    std::fs::write(&opts.timeseries_out, &out.timeseries_json)?;
+    log!(Info, "wrote time series to {}", opts.timeseries_out.display());
+    if opts.check {
+        if let Err(reason) = htmlreport::check(&out) {
+            eprintln!("report check FAILED: {reason}");
+            return Ok(false);
+        }
+        log!(Info, "report check passed");
     }
     Ok(true)
 }
@@ -320,6 +414,7 @@ fn bench_observer_overhead(cfg: &RunConfig) -> (f64, f64, f64) {
         events: cfg.events,
         seed: cfg.seed,
         bgp: Default::default(),
+        event_limit: None,
     };
     log!(Info, "bench: observer overhead on Baseline n={} …", cell.n);
     let off_s = best_of_3(|| {
@@ -457,12 +552,17 @@ fn main() {
         }
         return;
     }
-    if opts.target == "profile" {
-        match run_profile_target(&opts) {
+    if opts.target == "profile" || opts.target == "report" {
+        let result = if opts.target == "profile" {
+            run_profile_target(&opts)
+        } else {
+            run_report_target(&opts)
+        };
+        match result {
             Ok(true) => return,
             Ok(false) => std::process::exit(1),
             Err(e) => {
-                eprintln!("profile failed: {e}");
+                eprintln!("{} failed: {e}", opts.target);
                 std::process::exit(1);
             }
         }

@@ -1,0 +1,338 @@
+//! `repro report` — a self-contained churn provenance report.
+//!
+//! Runs one `(scenario, n)` cell under **both** MRAI modes with the
+//! simulated-time series recorder attached, and renders the comparison as
+//! a single dependency-free HTML page: per-relation churn sparklines,
+//! updates by receiving node type, the causal-depth histogram, the
+//! per-root convergence-duration CDF, and MRAI timer / inbox occupancy —
+//! all inline SVG, no scripts, no external assets. A `timeseries.json`
+//! artifact carries the raw integer series (byte-identical for any
+//! `--jobs` value, like every other deterministic artifact).
+//!
+//! The `check` gate mirrors `profile --check`: it fails when any panel of
+//! the report would render empty — catching "provenance silently stopped
+//! flowing" regressions in CI.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use bgpscale_bgp::MraiMode;
+use bgpscale_core::ChurnReport;
+use bgpscale_obs::render::{html_escape, html_page, svg_bars, svg_cdf, svg_sparkline};
+use bgpscale_obs::timeseries::DEPTH_BOUNDS;
+use bgpscale_topology::GrowthScenario;
+
+use crate::sweep::{CellSeries, RunConfig, Sweeper};
+
+/// One reported cell pair (the same `(scenario, n)` under both modes).
+#[derive(Clone, Debug)]
+pub struct ReportConfig {
+    /// Growth scenario of the cell.
+    pub scenario: GrowthScenario,
+    /// Network size.
+    pub n: usize,
+    /// C-events per mode.
+    pub events: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker budget (0 = all hardware threads).
+    pub jobs: usize,
+    /// Time-series bin width in simulated microseconds.
+    pub bin_us: u64,
+}
+
+/// The result of [`run_report`].
+#[derive(Clone, Debug)]
+pub struct ReportOutput {
+    /// The two cells' time series, NO-WRATE first.
+    pub cells: Vec<CellSeries>,
+    /// The two cells' churn reports, same order.
+    pub reports: Vec<Arc<ChurnReport>>,
+    /// The self-contained HTML page.
+    pub html: String,
+    /// The raw integer time series as deterministic JSON.
+    pub timeseries_json: String,
+}
+
+/// The two modes every report compares, in render order.
+const MODES: [MraiMode; 2] = [MraiMode::NoWrate, MraiMode::Wrate];
+
+fn mode_key(mode: MraiMode) -> &'static str {
+    match mode {
+        MraiMode::NoWrate => "no_wrate",
+        MraiMode::Wrate => "wrate",
+    }
+}
+
+/// Runs the WRATE vs NO-WRATE pair through a [`Sweeper`] (time series
+/// enabled) and renders both artifacts.
+pub fn run_report(cfg: &ReportConfig) -> ReportOutput {
+    let mut sw = Sweeper::new(RunConfig {
+        sizes: vec![cfg.n],
+        events: cfg.events,
+        seed: cfg.seed,
+    });
+    sw.set_jobs(cfg.jobs);
+    sw.enable_timeseries(cfg.bin_us);
+    let reports: Vec<Arc<ChurnReport>> = MODES
+        .into_iter()
+        .map(|mode| sw.report(cfg.scenario, cfg.n, mode))
+        .collect();
+    let cells = sw.take_series();
+    let timeseries_json = timeseries_json(cfg, &cells);
+    let html = render_html(cfg, &reports, &cells);
+    ReportOutput {
+        cells,
+        reports,
+        html,
+        timeseries_json,
+    }
+}
+
+/// The `timeseries.json` artifact: cell coordinates plus the raw series,
+/// integer-only and in fixed key order.
+fn timeseries_json(cfg: &ReportConfig, cells: &[CellSeries]) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"scenario\":\"{}\",\"n\":{},\"events\":{},\"seed\":{},\"bin_us\":{},\"cells\":[",
+        cfg.scenario, cfg.n, cfg.events, cfg.seed, cfg.bin_us
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"mode\":\"{}\",\"series\":{}}}",
+            mode_key(cell.mode),
+            cell.series.to_json()
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// The CI gate: every panel of the report has data. Returns the first
+/// violated expectation, labeled with the cell it came from.
+///
+/// # Errors
+/// A human-readable description of the first empty panel.
+pub fn check(out: &ReportOutput) -> Result<(), String> {
+    if out.cells.len() != MODES.len() {
+        return Err(format!(
+            "expected {} cells (NO-WRATE and WRATE), got {}",
+            MODES.len(),
+            out.cells.len()
+        ));
+    }
+    for cell in &out.cells {
+        let label = cell.mode.label();
+        let ts = &cell.series;
+        if ts.total_updates() == 0 {
+            return Err(format!("{label}: churn panel is empty (no updates binned)"));
+        }
+        if ts.bins.iter().all(|b| b.by_rel.iter().sum::<u64>() == 0) {
+            return Err(format!("{label}: per-relation panel is empty"));
+        }
+        if ts.depth_hist.iter().sum::<u64>() == 0 {
+            return Err(format!("{label}: causal-depth histogram is empty"));
+        }
+        if ts.convergence_durations_us().is_empty() {
+            return Err(format!("{label}: convergence-duration CDF is empty"));
+        }
+        if ts.bins.iter().all(|b| b.mrai_armed_peak == 0) {
+            return Err(format!("{label}: MRAI occupancy panel is empty"));
+        }
+        if ts.bins.iter().all(|b| b.inbox_peak == 0) {
+            return Err(format!("{label}: inbox-depth panel is empty"));
+        }
+        if ts.unstamped > 0 {
+            return Err(format!(
+                "{label}: {} updates arrived without a provenance stamp",
+                ts.unstamped
+            ));
+        }
+    }
+    Ok(())
+}
+
+const SPARK_W: u32 = 360;
+const SPARK_H: u32 = 48;
+const BAR_W: u32 = 360;
+const BAR_H: u32 = 120;
+const CDF_W: u32 = 360;
+const CDF_H: u32 = 120;
+
+fn spark_row(body: &mut String, label: &str, values: &[u64], color: &str) {
+    let total: u64 = values.iter().sum();
+    let _ = write!(
+        body,
+        "<div class=\"row\"><span class=\"lbl\">{}</span>{}<span class=\"sum\">{total}</span></div>",
+        html_escape(label),
+        svg_sparkline(values, SPARK_W, SPARK_H, color)
+    );
+}
+
+/// Renders the standalone HTML page.
+fn render_html(cfg: &ReportConfig, reports: &[Arc<ChurnReport>], cells: &[CellSeries]) -> String {
+    let title = format!(
+        "Churn provenance — {} n={} ({} events, seed {:#x})",
+        cfg.scenario, cfg.n, cfg.events, cfg.seed
+    );
+    let depth_labels: Vec<String> = DEPTH_BOUNDS
+        .iter()
+        .map(|b| format!("≤{b}"))
+        .chain(std::iter::once("inf".to_string()))
+        .collect();
+    let depth_label_refs: Vec<&str> = depth_labels.iter().map(String::as_str).collect();
+
+    let mut body = String::new();
+    let _ = write!(body, "<h1>{}</h1>", html_escape(&title));
+    let _ = write!(
+        body,
+        "<p>Bin width: {} ms of simulated time. Every update carries a provenance \
+         stamp (root-cause event, causal depth, sending relation); coalesced MRAI \
+         flushes carry the union of their contributing roots, so the two modes \
+         stay attributable side by side.</p>",
+        cfg.bin_us / 1_000
+    );
+
+    for (cell, report) in cells.iter().zip(reports) {
+        let ts = &cell.series;
+        let _ = write!(body, "<h2>{}</h2>", html_escape(cell.mode.label()));
+
+        // Headline numbers.
+        let _ = write!(
+            body,
+            "<table><tr><th>events</th><th>updates</th><th>announce</th>\
+             <th>withdraw</th><th>coalesced</th><th>depth max</th>\
+             <th>mean U per event</th></tr>\
+             <tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{:.1}</td></tr></table>",
+            ts.events,
+            ts.total_updates(),
+            ts.bins.iter().map(|b| b.announces).sum::<u64>(),
+            ts.bins.iter().map(|b| b.withdraws).sum::<u64>(),
+            ts.coalesced,
+            ts.depth_max,
+            report.mean_total_updates,
+        );
+
+        body.push_str("<div class=\"panel\"><h3>Updates per bin by sending relation</h3>");
+        let rel_names = ["to customers", "to peers", "to providers"];
+        let rel_colors = ["#1a7f37", "#0969da", "#cf222e"];
+        for (i, (name, color)) in rel_names.iter().zip(rel_colors).enumerate() {
+            let values: Vec<u64> = ts.bins.iter().map(|b| b.by_rel[i]).collect();
+            spark_row(&mut body, name, &values, color);
+        }
+        body.push_str("</div>");
+
+        body.push_str("<div class=\"panel\"><h3>Updates per bin by receiving node type</h3>");
+        let type_names = ["T (tier-1)", "M (mid)", "CP (content)", "C (stub)"];
+        let type_colors = ["#8250df", "#0969da", "#9a6700", "#57606a"];
+        for (i, (name, color)) in type_names.iter().zip(type_colors).enumerate() {
+            let values: Vec<u64> = ts.bins.iter().map(|b| b.by_type[i]).collect();
+            spark_row(&mut body, name, &values, color);
+        }
+        body.push_str("</div>");
+
+        body.push_str("<div class=\"panel\"><h3>Causal depth (hops since the root cause)</h3>");
+        body.push_str(&svg_bars(
+            &depth_label_refs,
+            &ts.depth_hist,
+            BAR_W,
+            BAR_H,
+            "#57606a",
+        ));
+        body.push_str("</div>");
+
+        body.push_str(
+            "<div class=\"panel\"><h3>Per-root convergence duration (CDF, \
+             root-cause fire to last attributed update)</h3>",
+        );
+        body.push_str(&svg_cdf(
+            &ts.convergence_durations_us(),
+            CDF_W,
+            CDF_H,
+            "#0969da",
+        ));
+        let durations = ts.convergence_durations_us();
+        if !durations.is_empty() {
+            let median = durations[durations.len() / 2];
+            let _ = write!(
+                body,
+                "<p>{} roots with attributed updates; median {} ms, max {} ms.</p>",
+                durations.len(),
+                median / 1_000,
+                durations.last().unwrap() / 1_000
+            );
+        }
+        body.push_str("</div>");
+
+        body.push_str("<div class=\"panel\"><h3>Queue occupancy peaks per bin</h3>");
+        let armed: Vec<u64> = ts.bins.iter().map(|b| b.mrai_armed_peak).collect();
+        spark_row(&mut body, "armed MRAI timers", &armed, "#9a6700");
+        let inbox: Vec<u64> = ts.bins.iter().map(|b| b.inbox_peak).collect();
+        spark_row(&mut body, "deepest inbox", &inbox, "#8250df");
+        body.push_str("</div>");
+    }
+
+    html_page(&title, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ReportConfig {
+        ReportConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 150,
+            events: 2,
+            seed: 0xBEEF,
+            jobs: 1,
+            bin_us: 100_000,
+        }
+    }
+
+    #[test]
+    fn report_runs_and_passes_check() {
+        let out = run_report(&tiny_cfg());
+        check(&out).expect("tiny report must pass its own gate");
+        assert_eq!(out.cells.len(), 2);
+        assert!(matches!(out.cells[0].mode, MraiMode::NoWrate));
+        assert!(matches!(out.cells[1].mode, MraiMode::Wrate));
+        assert!(out.html.starts_with("<!DOCTYPE html>"));
+        for needle in [
+            "NO-WRATE",
+            "WRATE",
+            "class=\"spark\"",
+            "class=\"cdf\"",
+            "Causal depth",
+            "to customers",
+        ] {
+            assert!(out.html.contains(needle), "HTML missing {needle:?}");
+        }
+        assert!(out.timeseries_json.contains("\"mode\":\"no_wrate\""));
+        assert!(out.timeseries_json.contains("\"mode\":\"wrate\""));
+        assert!(out.timeseries_json.contains("\"bins\":["));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = run_report(&tiny_cfg());
+        let b = run_report(&tiny_cfg());
+        assert_eq!(a.html, b.html);
+        assert_eq!(a.timeseries_json, b.timeseries_json);
+    }
+
+    #[test]
+    fn check_flags_empty_panels() {
+        let mut out = run_report(&tiny_cfg());
+        out.cells[1].series.bins.clear();
+        let err = check(&out).unwrap_err();
+        assert!(err.contains("WRATE"), "names the failing cell: {err}");
+        assert!(err.contains("empty"), "describes the empty panel: {err}");
+    }
+}

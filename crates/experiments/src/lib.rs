@@ -39,9 +39,10 @@
 
 pub mod churn_trace;
 pub mod figures;
+pub mod htmlreport;
 pub mod profile;
 pub mod report;
 pub mod sweep;
 
 pub use report::{Figure, Table};
-pub use sweep::{RunConfig, Sweeper};
+pub use sweep::{CellSeries, RunConfig, Sweeper};

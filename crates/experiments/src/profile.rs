@@ -31,6 +31,11 @@ pub struct ProfileConfig {
     pub jobs: usize,
     /// Keep 1-in-`n` trace records when `Some(n)`.
     pub trace_sample: Option<u64>,
+    /// Per-phase simulator event budget override. Small budgets force the
+    /// structured failure path: [`run_profile`] returns `Err` carrying the
+    /// harness's budget snapshot (queue depth, pending events by kind,
+    /// busiest inbox) instead of crashing the process.
+    pub event_limit: Option<u64>,
 }
 
 /// The result of [`run_profile`].
@@ -58,7 +63,14 @@ pub const EXPECTED_SPANS: [&str; 5] = [
 ///
 /// Resets the process-global span registry first so the profile covers
 /// exactly this run — don't interleave with other span-recording work.
-pub fn run_profile(cfg: &ProfileConfig) -> ProfileOutput {
+///
+/// # Errors
+/// When the harness aborts (an event budget ran out), the error string is
+/// the harness's own diagnosis — including the [`bgpscale_core::BudgetSnapshot`]
+/// rendering with queue depth, pending events by kind, and the busiest
+/// inbox — so the `profile` subcommand can print *why* the cell failed
+/// instead of crashing.
+pub fn run_profile(cfg: &ProfileConfig) -> Result<ProfileOutput, String> {
     span::reset();
     let watch = Stopwatch::start();
     let experiment = ExperimentConfig {
@@ -67,13 +79,31 @@ pub fn run_profile(cfg: &ProfileConfig) -> ProfileOutput {
         events: cfg.events,
         seed: cfg.seed,
         bgp: Default::default(),
+        event_limit: cfg.event_limit,
     };
     let jobs = bgpscale_simkernel::pool::effective_jobs(cfg.jobs).max(1);
-    let observed = run_experiment_observed(&experiment, jobs, cfg.trace_sample);
-    ProfileOutput {
-        observed,
-        spans: span::snapshot(),
-        wall_s: watch.elapsed_secs_f64(),
+    // The harness panics on budget exhaustion (a model bug in normal
+    // operation); for the interactive profile tool a caught panic with
+    // the snapshot rendered beats a crash. Silence the default hook for
+    // the guarded region so the snapshot is printed once, by us, instead
+    // of as a raw panic message with a backtrace.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_experiment_observed(&experiment, jobs, cfg.trace_sample)
+    }));
+    std::panic::set_hook(prev_hook);
+    match caught {
+        Ok(observed) => Ok(ProfileOutput {
+            observed,
+            spans: span::snapshot(),
+            wall_s: watch.elapsed_secs_f64(),
+        }),
+        Err(payload) => Err(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "experiment cell panicked".to_string())),
     }
 }
 
@@ -187,6 +217,7 @@ mod tests {
             seed: 0xBEEF,
             jobs: 1,
             trace_sample: Some(10),
+            event_limit: None,
         }
     }
 
@@ -194,7 +225,7 @@ mod tests {
     fn profile_runs_and_passes_check() {
         let _guard = PROFILE_LOCK.lock().unwrap();
         let cfg = tiny_cfg();
-        let out = run_profile(&cfg);
+        let out = run_profile(&cfg).expect("tiny profile must complete");
         check(&out).expect("tiny profile must pass its own gate");
         assert!(out.wall_s > 0.0);
         assert!(out.observed.metrics.counter("events.total") > 0);
@@ -208,8 +239,27 @@ mod tests {
     fn check_rejects_empty_output() {
         let _guard = PROFILE_LOCK.lock().unwrap();
         let cfg = tiny_cfg();
-        let mut out = run_profile(&cfg);
+        let mut out = run_profile(&cfg).expect("tiny profile must complete");
         out.spans.retain(|(n, _)| *n != "run_events");
         assert!(check(&out).unwrap_err().contains("run_events"));
+    }
+
+    /// Satellite fix: a blown event budget must surface the harness's
+    /// budget snapshot (queue depth, pending-by-kind, busiest inbox) as a
+    /// structured error instead of crashing the profile subcommand.
+    #[test]
+    fn budget_failure_surfaces_the_snapshot() {
+        let _guard = PROFILE_LOCK.lock().unwrap();
+        let mut cfg = tiny_cfg();
+        // jobs=1 keeps the panic on the calling thread so catch_unwind
+        // sees the harness's String payload directly.
+        cfg.event_limit = Some(3);
+        let err = run_profile(&cfg).unwrap_err();
+        assert!(err.contains("did not quiesce"), "diagnosis missing: {err}");
+        assert!(err.contains("pending"), "snapshot not rendered: {err}");
+        assert!(
+            err.contains("deliver") && err.contains("proc_done"),
+            "pending-by-kind not rendered: {err}"
+        );
     }
 }

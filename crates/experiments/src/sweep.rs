@@ -23,9 +23,10 @@ use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, MraiMode};
 use bgpscale_core::{
-    run_experiment_jobs, run_experiment_observed, ChurnReport, ExperimentConfig, ObservedReport,
+    run_experiment_jobs, run_experiment_observed_with, ChurnReport, ExperimentConfig,
+    ObserveOptions, ObservedReport,
 };
-use bgpscale_obs::{MetricsRegistry, TraceRecord};
+use bgpscale_obs::{MetricsRegistry, TimeSeries, TraceRecord};
 use bgpscale_simkernel::pool::run_indexed;
 use bgpscale_topology::GrowthScenario;
 
@@ -95,6 +96,30 @@ struct CellKey {
 struct Telemetry {
     enabled: bool,
     trace_sample: Option<u64>,
+    timeseries_bin_us: Option<u64>,
+}
+
+impl Telemetry {
+    fn options(&self) -> ObserveOptions {
+        ObserveOptions {
+            trace_sample: self.trace_sample,
+            timeseries_bin_us: self.timeseries_bin_us,
+        }
+    }
+}
+
+/// The simulated-time series of one experiment cell, labeled with the cell
+/// coordinates so WRATE and NO-WRATE runs stay comparable side by side.
+#[derive(Clone, Debug)]
+pub struct CellSeries {
+    /// The cell's growth scenario.
+    pub scenario: GrowthScenario,
+    /// The cell's network size.
+    pub n: usize,
+    /// The cell's MRAI mode.
+    pub mode: MraiMode,
+    /// The per-event time series merged in event-index order.
+    pub series: TimeSeries,
 }
 
 /// Memoizing experiment runner shared by all figure drivers.
@@ -113,6 +138,9 @@ pub struct Sweeper {
     /// Concatenated trace records of every uncached cell, same ordering
     /// discipline as `metrics`.
     trace: Vec<TraceRecord>,
+    /// Per-cell time series (when [`Sweeper::enable_timeseries`] is on),
+    /// same ordering discipline as `metrics`.
+    series: Vec<CellSeries>,
 }
 
 impl Sweeper {
@@ -127,6 +155,7 @@ impl Sweeper {
             telemetry: Telemetry::default(),
             metrics: MetricsRegistry::new(),
             trace: Vec::new(),
+            series: Vec::new(),
         }
     }
 
@@ -137,10 +166,17 @@ impl Sweeper {
     /// accumulated telemetry with [`Sweeper::metrics`] /
     /// [`Sweeper::take_trace`].
     pub fn enable_telemetry(&mut self, trace_sample: Option<u64>) {
-        self.telemetry = Telemetry {
-            enabled: true,
-            trace_sample,
-        };
+        self.telemetry.enabled = true;
+        self.telemetry.trace_sample = trace_sample;
+    }
+
+    /// Additionally records a simulated-time series (bin width `bin_us`
+    /// microseconds of simulated time) for every uncached cell computed
+    /// from now on. Implies telemetry. Collected series are labeled with
+    /// their cell coordinates; drain them with [`Sweeper::take_series`].
+    pub fn enable_timeseries(&mut self, bin_us: u64) {
+        self.telemetry.enabled = true;
+        self.telemetry.timeseries_bin_us = Some(bin_us);
     }
 
     /// The metrics merged across all telemetry-enabled cells so far.
@@ -154,19 +190,33 @@ impl Sweeper {
         std::mem::take(&mut self.trace)
     }
 
+    /// Drains the per-cell time series accumulated so far (cell
+    /// completion order).
+    pub fn take_series(&mut self) -> Vec<CellSeries> {
+        std::mem::take(&mut self.series)
+    }
+
     /// Runs one uncached cell, folding telemetry if enabled.
     fn compute_cell(&mut self, cfg: &ExperimentConfig) -> Arc<ChurnReport> {
         if self.telemetry.enabled {
-            let observed = run_experiment_observed(cfg, self.jobs, self.telemetry.trace_sample);
-            self.fold_telemetry(observed)
+            let observed = run_experiment_observed_with(cfg, self.jobs, &self.telemetry.options());
+            self.fold_telemetry(cfg, observed)
         } else {
             Arc::new(run_experiment_jobs(cfg, self.jobs))
         }
     }
 
-    fn fold_telemetry(&mut self, observed: ObservedReport) -> Arc<ChurnReport> {
+    fn fold_telemetry(&mut self, cfg: &ExperimentConfig, observed: ObservedReport) -> Arc<ChurnReport> {
         self.metrics.merge(&observed.metrics);
         self.trace.extend(observed.trace);
+        if let Some(series) = observed.timeseries {
+            self.series.push(CellSeries {
+                scenario: cfg.scenario,
+                n: cfg.n,
+                mode: cfg.bgp.mrai_mode,
+                series,
+            });
+        }
         Arc::new(observed.report)
     }
 
@@ -225,6 +275,7 @@ impl Sweeper {
             events: self.cfg.events,
             seed: self.cfg.seed,
             bgp,
+            event_limit: None,
         }
     }
 
@@ -293,10 +344,10 @@ impl Sweeper {
                     if let Some(cb) = &progress {
                         cb(scenario, configs[i].n, mode);
                     }
-                    run_experiment_observed(&configs[i], inner, telemetry.trace_sample)
+                    run_experiment_observed_with(&configs[i], inner, &telemetry.options())
                 });
-                for (&n, obs) in uncached.iter().zip(observed) {
-                    let report = self.fold_telemetry(obs);
+                for ((&n, obs), cell_cfg) in uncached.iter().zip(observed).zip(&configs) {
+                    let report = self.fold_telemetry(cell_cfg, obs);
                     self.cache.insert(CellKey { scenario, n, mode }, report);
                 }
             } else {
@@ -437,6 +488,28 @@ mod tests {
         assert_eq!(observed.metrics().counter("experiment.events"), 4);
         assert!(!observed.take_trace().is_empty());
         assert!(plain.metrics().is_empty(), "telemetry off collects nothing");
+    }
+
+    #[test]
+    fn timeseries_collection_labels_cells() {
+        let mut s = Sweeper::new(RunConfig {
+            sizes: vec![150],
+            events: 2,
+            seed: 6,
+        });
+        s.enable_timeseries(100_000);
+        s.report(GrowthScenario::Baseline, 150, MraiMode::NoWrate);
+        s.report(GrowthScenario::Baseline, 150, MraiMode::Wrate);
+        let series = s.take_series();
+        assert_eq!(series.len(), 2, "one labeled series per uncached cell");
+        assert!(matches!(series[0].mode, MraiMode::NoWrate));
+        assert!(matches!(series[1].mode, MraiMode::Wrate));
+        for cell in &series {
+            assert_eq!(cell.n, 150);
+            assert!(cell.series.total_updates() > 0, "cells must bin updates");
+            assert_eq!(cell.series.events, 2);
+        }
+        assert!(s.take_series().is_empty(), "take_series drains");
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! # bgpscale-obs
 //!
 //! Deterministic simulation telemetry for the `bgpscale` workspace:
-//! observer hooks, a metrics registry, structured event tracing, wall-clock
-//! span profiling, and leveled logging — with **zero external
-//! dependencies**.
+//! observer hooks, a metrics registry, structured event tracing, churn
+//! provenance stamps, simulated-time series, wall-clock span profiling,
+//! leveled logging, and dependency-free HTML/SVG report rendering — with
+//! **zero external dependencies**.
 //!
 //! The crate draws a hard line between two kinds of observability:
 //!
@@ -37,13 +38,18 @@
 pub mod logging;
 pub mod metrics;
 pub mod observer;
+pub mod provenance;
 pub mod recorder;
+pub mod render;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use logging::Level;
 pub use metrics::{Gauge, Histogram, MetricsRegistry};
 pub use observer::{EventKind, NoopObserver, SimObserver, UpdateClass};
-pub use recorder::Recorder;
+pub use provenance::{Provenance, RootCauseKind};
+pub use recorder::{Recorder, RecorderOptions};
 pub use span::SpanStats;
+pub use timeseries::{RootRecord, TimeSeries, TimeSeriesRecorder, TimeSeriesSpec, TsBin};
 pub use trace::{TraceBuffer, TraceRecord, TraceWriter};

@@ -32,7 +32,11 @@ pub struct Gauge {
 /// A fixed-bucket integer histogram.
 ///
 /// `bounds[i]` is the inclusive upper edge of bucket `i`; one implicit
-/// overflow bucket catches everything above the last bound.
+/// **overflow bucket** catches everything above the last bound. A sample
+/// past the top boundary is therefore never dropped: it lands in bucket
+/// `bounds.len()` (the last entry of [`Histogram::bucket_counts`]) and
+/// still contributes to `count`/`sum`/`max`. The JSON serialization
+/// renders the overflow bucket with the bound `"inf"`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     bounds: Vec<u64>,
@@ -120,7 +124,10 @@ impl Histogram {
         &self.bounds
     }
 
-    /// Per-bucket counts (`bounds.len() + 1` entries; last = overflow).
+    /// Per-bucket counts: `bounds.len() + 1` entries, where entry `i < bounds.len()`
+    /// counts samples with `value <= bounds[i]` (and above the previous
+    /// bound), and the final entry is the overflow bucket holding every
+    /// sample greater than `bounds.last()`.
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
     }
@@ -334,6 +341,28 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn values_past_the_top_bound_land_in_the_overflow_bucket() {
+        let mut h = Histogram::new(vec![1, 10]);
+        h.observe(11); // one past the top bound
+        h.observe(5_000); // far past it
+        assert_eq!(
+            h.bucket_counts(),
+            &[0, 0, 2],
+            "overflow samples are counted, not dropped"
+        );
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 5_011);
+        assert_eq!(h.max(), 5_000);
+
+        // Same through the registry, and the overflow bucket serializes
+        // with the "inf" bound.
+        let mut r = MetricsRegistry::new();
+        r.observe("x", &[1, 10], 9_999);
+        assert_eq!(r.histogram("x").unwrap().bucket_counts(), &[0, 0, 1]);
+        assert!(r.to_json().contains("[\"inf\", 1]"), "{}", r.to_json());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 use bgpscale_simkernel::SimTime;
 use bgpscale_topology::{AsId, Relationship};
 
+use crate::provenance::{Provenance, RootCauseKind};
+
 /// The kind of a simulator event, mirrored from `core::sim`'s private
 /// event enum so observers can count per kind without a dependency cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -94,7 +96,10 @@ pub trait SimObserver {
     /// An UPDATE was delivered from `from` to `to` (and joined `to`'s
     /// input queue). `rel` is the relationship of the *sender* as seen
     /// from the receiver; `path_len` is the AS-path length of an
-    /// announcement (`None` for withdrawals).
+    /// announcement (`None` for withdrawals). `provenance` is the
+    /// message's causal stamp (borrowed — the noop path never clones it)
+    /// and `inbox_depth` is the receiver's in-queue depth *including*
+    /// this message.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     fn on_message(
@@ -105,9 +110,22 @@ pub trait SimObserver {
         _class: UpdateClass,
         _prefix: u32,
         _path_len: Option<u32>,
+        _provenance: &Provenance,
+        _inbox_depth: u32,
         _now: SimTime,
     ) {
     }
+
+    /// A root-cause event fired: `id` is sequential within the
+    /// simulation, `node` is where it happened. Every provenance stamp
+    /// delivered later refers back to one or more of these ids.
+    #[inline]
+    fn on_root_cause(&mut self, _id: u32, _kind: RootCauseKind, _node: AsId, _now: SimTime) {}
+
+    /// The number of armed MRAI timers changed to `armed` (fires on every
+    /// arm, expiry, and session teardown that alters the level).
+    #[inline]
+    fn on_timer_occupancy(&mut self, _armed: u64, _now: SimTime) {}
 
     /// An MRAI timer expiry actually flushed `sent` queued updates at
     /// `node` (no-op expiries — nothing queued — do not fire this hook).
@@ -155,8 +173,12 @@ mod tests {
             UpdateClass::Announce,
             0,
             Some(3),
+            &Provenance::none(),
+            1,
             SimTime::ZERO,
         );
+        o.on_root_cause(0, RootCauseKind::Originate, AsId(0), SimTime::ZERO);
+        o.on_timer_occupancy(2, SimTime::ZERO);
         o.on_mrai_flush(AsId(0), 1, SimTime::ZERO);
         o.on_decision_run(AsId(0), SimTime::ZERO);
         o.on_quiescence(SimTime::ZERO, 42);

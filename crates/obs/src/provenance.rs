@@ -1,0 +1,250 @@
+//! Churn provenance: causal attribution stamps for UPDATE messages.
+//!
+//! Every UPDATE the simulator delivers can be traced back to the **root
+//! cause** that set the network in motion — an origination, an origin
+//! withdrawal, a session reset, or a damping reuse event. A
+//! [`Provenance`] stamp travels with the message and records:
+//!
+//! * the set of root-cause event ids that contributed to it (usually one;
+//!   more when MRAI coalescing folded updates from different causes into
+//!   one transmission),
+//! * the **causal depth**: how many receive→decide→export hops separate
+//!   the message from the root cause (0 for messages sent directly by the
+//!   root-cause node),
+//! * the sending edge's Gao–Rexford relation, as seen by the *sender*
+//!   (`Customer` = "sent to our customer").
+//!
+//! Stamps are telemetry metadata, not protocol content: they are excluded
+//! from message equality, never influence the decision process, and a
+//! simulation with stamping produces bit-identical churn reports to one
+//! without. Root ids are allocated sequentially by the simulator, so the
+//! stamp stream is a pure function of the simulated trajectory and all
+//! derived artifacts stay byte-identical across `--jobs` levels.
+
+use std::sync::{Arc, OnceLock};
+
+use bgpscale_topology::Relationship;
+
+/// Why a root-cause event happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RootCauseKind {
+    /// A node started originating a prefix (the "UP" action, including
+    /// the uncounted warm-up announcement of a C-event).
+    Originate,
+    /// A node stopped originating a prefix (the "DOWN" action).
+    WithdrawOrigin,
+    /// A link failed: both BGP sessions dropped (an L-event half).
+    SessionDown,
+    /// A failed link was restored: both sessions re-established.
+    SessionUp,
+    /// A Route-Flap-Damping reuse wake-up re-ran a decision process.
+    RfdReuse,
+}
+
+impl RootCauseKind {
+    /// All kinds, in stable index order.
+    pub const ALL: [RootCauseKind; 5] = [
+        RootCauseKind::Originate,
+        RootCauseKind::WithdrawOrigin,
+        RootCauseKind::SessionDown,
+        RootCauseKind::SessionUp,
+        RootCauseKind::RfdReuse,
+    ];
+
+    /// Stable dense index (0..5), used by counters.
+    pub fn index(self) -> usize {
+        match self {
+            RootCauseKind::Originate => 0,
+            RootCauseKind::WithdrawOrigin => 1,
+            RootCauseKind::SessionDown => 2,
+            RootCauseKind::SessionUp => 3,
+            RootCauseKind::RfdReuse => 4,
+        }
+    }
+
+    /// Stable lowercase name, used in metric keys and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            RootCauseKind::Originate => "originate",
+            RootCauseKind::WithdrawOrigin => "withdraw_origin",
+            RootCauseKind::SessionDown => "session_down",
+            RootCauseKind::SessionUp => "session_up",
+            RootCauseKind::RfdReuse => "rfd_reuse",
+        }
+    }
+}
+
+/// The provenance stamp carried by every UPDATE message.
+///
+/// Cheap to clone: the root set is interned behind an `Arc<[u32]>`, so a
+/// clone is a reference-count bump plus two words. [`Provenance::none`]
+/// (the unstamped default) is allocation-free.
+///
+/// The root set is always sorted and duplicate-free, an invariant every
+/// constructor and [`Provenance::coalesce_with`] maintain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Provenance {
+    roots: Arc<[u32]>,
+    depth: u32,
+    rel: Option<Relationship>,
+}
+
+impl Provenance {
+    /// The unstamped provenance (no root cause attached). Used by direct
+    /// `BgpNode` entry points outside a simulator, so unit tests of the
+    /// protocol machine need not invent causes.
+    pub fn none() -> Provenance {
+        static EMPTY: OnceLock<Arc<[u32]>> = OnceLock::new();
+        Provenance {
+            roots: EMPTY.get_or_init(|| Arc::from([])).clone(),
+            depth: 0,
+            rel: None,
+        }
+    }
+
+    /// A fresh stamp for root-cause event `id`, at causal depth 0.
+    pub fn root(id: u32) -> Provenance {
+        Provenance {
+            roots: Arc::from([id]),
+            depth: 0,
+            rel: None,
+        }
+    }
+
+    /// True when at least one root cause is attached.
+    pub fn is_stamped(&self) -> bool {
+        !self.roots.is_empty()
+    }
+
+    /// The contributing root-cause ids, sorted and duplicate-free.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// The lowest (oldest) contributing root id, if stamped.
+    pub fn primary_root(&self) -> Option<u32> {
+        self.roots.first().copied()
+    }
+
+    /// Hops between the root-cause node's own transmissions (depth 0) and
+    /// this message.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The sending edge's Gao–Rexford relation, from the sender's view
+    /// (`Customer` = sent to the sender's customer). `None` until the
+    /// export phase stamps it.
+    pub fn rel(&self) -> Option<Relationship> {
+        self.rel
+    }
+
+    /// The stamp for an export *triggered by* a message carrying this
+    /// stamp: same roots, depth + 1, relation cleared (each edge stamps
+    /// its own).
+    pub fn child(&self) -> Provenance {
+        Provenance {
+            roots: Arc::clone(&self.roots),
+            depth: self.depth.saturating_add(1),
+            rel: None,
+        }
+    }
+
+    /// A copy of this stamp with the sending edge's relation recorded.
+    pub fn with_rel(&self, rel: Relationship) -> Provenance {
+        Provenance {
+            roots: Arc::clone(&self.roots),
+            depth: self.depth,
+            rel: Some(rel),
+        }
+    }
+
+    /// Folds the stamp of a *displaced* queued update into this one: the
+    /// root sets union (MRAI coalescing must not lose attribution — the
+    /// flushed transmission answers for every cause it absorbed), while
+    /// depth and relation stay those of `self`, the newest intent. This
+    /// is what keeps WRATE and NO-WRATE runs comparable: rate-limiting
+    /// changes how many messages carry a root, never which roots are
+    /// accounted for.
+    pub fn coalesce_with(&mut self, displaced: &Provenance) {
+        if displaced.roots.is_empty() || self.roots == displaced.roots {
+            return;
+        }
+        let mut union: Vec<u32> = self
+            .roots
+            .iter()
+            .chain(displaced.roots.iter())
+            .copied()
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        // Both inputs are sorted/deduped, so an unchanged length means an
+        // identical set — keep the existing allocation.
+        if union.len() != self.roots.len() {
+            self.roots = union.into();
+        }
+    }
+}
+
+impl Default for Provenance {
+    fn default() -> Self {
+        Provenance::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_unstamped_and_allocation_free() {
+        let a = Provenance::none();
+        let b = Provenance::default();
+        assert!(!a.is_stamped());
+        assert_eq!(a.roots(), &[] as &[u32]);
+        assert_eq!(a.primary_root(), None);
+        assert!(Arc::ptr_eq(&a.roots, &b.roots), "empty roots are shared");
+    }
+
+    #[test]
+    fn root_and_child_track_depth() {
+        let r = Provenance::root(7);
+        assert!(r.is_stamped());
+        assert_eq!(r.roots(), &[7]);
+        assert_eq!(r.depth(), 0);
+        let c = r.child().child();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.roots(), &[7], "roots propagate unchanged");
+        assert_eq!(c.rel(), None);
+    }
+
+    #[test]
+    fn with_rel_stamps_the_edge() {
+        let p = Provenance::root(1).with_rel(Relationship::Peer);
+        assert_eq!(p.rel(), Some(Relationship::Peer));
+        assert_eq!(p.child().rel(), None, "children stamp their own edge");
+    }
+
+    #[test]
+    fn coalesce_unions_roots_and_keeps_newest_depth() {
+        let mut newest = Provenance::root(5).child();
+        let displaced = Provenance::root(2).child().child();
+        newest.coalesce_with(&displaced);
+        assert_eq!(newest.roots(), &[2, 5], "sorted union");
+        assert_eq!(newest.depth(), 1, "depth of the newest intent wins");
+        // Coalescing with an equal or empty set is a no-op.
+        let before = newest.clone();
+        newest.coalesce_with(&Provenance::none());
+        newest.coalesce_with(&before.clone());
+        assert_eq!(newest, before);
+    }
+
+    #[test]
+    fn root_cause_kind_indices_are_dense_and_stable() {
+        for (i, k) in RootCauseKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(RootCauseKind::Originate.name(), "originate");
+        assert_eq!(RootCauseKind::SessionDown.name(), "session_down");
+    }
+}

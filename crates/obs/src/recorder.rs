@@ -8,15 +8,17 @@
 //!
 //! Everything a `Recorder` captures is a pure function of the simulated
 //! trajectory: counters, integer histograms, and (optionally) sampled
-//! trace records stamped with the C-event index. Merging per-event
-//! registries in event-index order therefore reproduces identical bytes
-//! for any `--jobs` level.
+//! trace records stamped with the C-event index plus a simulated-time
+//! series. Merging per-event registries in event-index order therefore
+//! reproduces identical bytes for any `--jobs` level.
 
 use bgpscale_simkernel::SimTime;
 use bgpscale_topology::{AsId, Relationship};
 
 use crate::metrics::MetricsRegistry;
 use crate::observer::{EventKind, SimObserver, UpdateClass};
+use crate::provenance::{Provenance, RootCauseKind};
+use crate::timeseries::{depth_bucket, TimeSeries, TimeSeriesRecorder, TimeSeriesSpec, DEPTH_BOUNDS};
 use crate::trace::{TraceBuffer, TraceRecord};
 
 /// Bucket bounds for AS-path lengths (hops).
@@ -24,6 +26,15 @@ pub const PATH_LEN_BOUNDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
 
 /// Bucket bounds for per-flush MRAI batch sizes (updates sent).
 pub const FLUSH_BOUNDS: [u64; 5] = [1, 2, 4, 8, 16];
+
+/// What a [`Recorder`] should capture beyond its always-on counters.
+#[derive(Clone, Debug, Default)]
+pub struct RecorderOptions {
+    /// Keep 1-in-`n` trace records when `Some(n)` (`Some(1)` keeps all).
+    pub trace_sample: Option<u64>,
+    /// Record a simulated-time series when `Some`.
+    pub timeseries: Option<TimeSeriesSpec>,
+}
 
 /// The metrics/trace observer. Create one per simulator instance.
 #[derive(Clone, Debug)]
@@ -42,7 +53,21 @@ pub struct Recorder {
     path_len_sum: u64,
     path_len_max: u64,
     flush_hist: [u64; 6],
+    // Provenance accounting (all deliveries, stamped or not).
+    prov_stamped: u64,
+    prov_unstamped: u64,
+    prov_coalesced: u64,
+    prov_depth_hist: [u64; 8],
+    prov_depth_sum: u64,
+    prov_depth_max: u64,
+    /// Stamped deliveries by the *sending* edge's relation
+    /// (to_customer / to_peer / to_provider).
+    prov_to_rel: [u64; 3],
+    roots_by_kind: [u64; 5],
+    inbox_peak: u64,
+    armed_peak: u64,
     trace: Option<TraceBuffer>,
+    timeseries: Option<TimeSeriesRecorder>,
 }
 
 fn rel_index(rel: Relationship) -> usize {
@@ -63,12 +88,23 @@ fn bucket(bounds: &[u64], value: u64) -> usize {
 impl Recorder {
     /// A metrics-only recorder for C-event `event`.
     pub fn new(event: u32) -> Recorder {
-        Recorder::with_trace(event, None)
+        Recorder::with_options(event, RecorderOptions::default())
     }
 
     /// A recorder that additionally keeps 1-in-`sample_every` trace
     /// records (`Some(1)` keeps everything).
     pub fn with_trace(event: u32, trace_sample: Option<u64>) -> Recorder {
+        Recorder::with_options(
+            event,
+            RecorderOptions {
+                trace_sample,
+                timeseries: None,
+            },
+        )
+    }
+
+    /// A recorder with the full option set.
+    pub fn with_options(event: u32, opts: RecorderOptions) -> Recorder {
         Recorder {
             events_by_kind: [0; 4],
             msgs_by_rel: [0; 3],
@@ -84,7 +120,21 @@ impl Recorder {
             path_len_sum: 0,
             path_len_max: 0,
             flush_hist: [0; 6],
-            trace: trace_sample.map(|n| TraceBuffer::new(event, n)),
+            prov_stamped: 0,
+            prov_unstamped: 0,
+            prov_coalesced: 0,
+            prov_depth_hist: [0; 8],
+            prov_depth_sum: 0,
+            prov_depth_max: 0,
+            prov_to_rel: [0; 3],
+            roots_by_kind: [0; 5],
+            inbox_peak: 0,
+            armed_peak: 0,
+            trace: opts.trace_sample.map(|n| TraceBuffer::new(event, n)),
+            timeseries: opts
+                .timeseries
+                .as_ref()
+                .map(|spec| TimeSeriesRecorder::new(event, spec)),
         }
     }
 
@@ -96,7 +146,16 @@ impl Recorder {
     /// Consumes the recorder, returning its trace records (empty when
     /// tracing was off).
     pub fn into_trace(self) -> Vec<TraceRecord> {
-        self.trace.map(TraceBuffer::into_records).unwrap_or_default()
+        self.into_parts().0
+    }
+
+    /// Consumes the recorder, returning trace records and the one-event
+    /// time series (when enabled).
+    pub fn into_parts(self) -> (Vec<TraceRecord>, Option<TimeSeries>) {
+        (
+            self.trace.map(TraceBuffer::into_records).unwrap_or_default(),
+            self.timeseries.map(TimeSeriesRecorder::finish),
+        )
     }
 
     /// Materializes the deterministic metrics registry.
@@ -122,10 +181,28 @@ impl Recorder {
         r.set_gauge("sim.events_processed", self.final_events_processed);
         r.set_gauge("messages.path_len_max", self.path_len_max);
         r.inc("messages.path_len_sum", self.path_len_sum);
+        r.inc("provenance.stamped", self.prov_stamped);
+        r.inc("provenance.unstamped", self.prov_unstamped);
+        r.inc("provenance.coalesced", self.prov_coalesced);
+        r.inc("provenance.depth_sum", self.prov_depth_sum);
+        r.set_gauge("provenance.depth_max", self.prov_depth_max);
+        r.inc("provenance.to_customer", self.prov_to_rel[0]);
+        r.inc("provenance.to_peer", self.prov_to_rel[1]);
+        r.inc("provenance.to_provider", self.prov_to_rel[2]);
+        for kind in RootCauseKind::ALL {
+            r.inc(
+                &format!("provenance.roots.{}", kind.name()),
+                self.roots_by_kind[kind.index()],
+            );
+        }
+        r.inc("provenance.roots", self.roots_by_kind.iter().sum());
+        r.set_gauge("sim.inbox_depth_peak", self.inbox_peak);
+        r.set_gauge("mrai.armed_peak", self.armed_peak);
         // Rebuild histograms from the fixed arrays (bounds are compile-
         // time constants, so every recorder produces mergeable shapes).
         inject_histogram(&mut r, "messages.path_len", &PATH_LEN_BOUNDS, &self.path_len_hist);
         inject_histogram(&mut r, "mrai.flush_batch", &FLUSH_BOUNDS, &self.flush_hist);
+        inject_histogram(&mut r, "provenance.depth", &DEPTH_BOUNDS, &self.prov_depth_hist);
         r
     }
 }
@@ -164,6 +241,8 @@ impl SimObserver for Recorder {
         class: UpdateClass,
         prefix: u32,
         path_len: Option<u32>,
+        provenance: &Provenance,
+        inbox_depth: u32,
         now: SimTime,
     ) {
         self.msgs_by_rel[rel_index(rel)] += 1;
@@ -177,7 +256,28 @@ impl SimObserver for Recorder {
             }
             UpdateClass::Withdraw => self.withdraws += 1,
         }
+        self.inbox_peak = self.inbox_peak.max(u64::from(inbox_depth));
+        if provenance.is_stamped() {
+            self.prov_stamped += 1;
+            let depth = u64::from(provenance.depth());
+            self.prov_depth_hist[depth_bucket(depth)] += 1;
+            self.prov_depth_sum += depth;
+            self.prov_depth_max = self.prov_depth_max.max(depth);
+            if provenance.roots().len() > 1 {
+                self.prov_coalesced += 1;
+            }
+            if let Some(stamp_rel) = provenance.rel() {
+                self.prov_to_rel[rel_index(stamp_rel)] += 1;
+            }
+        } else {
+            self.prov_unstamped += 1;
+        }
+        if let Some(ts) = &mut self.timeseries {
+            ts.record_message(to, rel, class, provenance, inbox_depth, now.as_micros());
+        }
         if let Some(t) = &mut self.trace {
+            let root = provenance.primary_root();
+            let depth = provenance.is_stamped().then(|| provenance.depth());
             t.offer(|event| TraceRecord {
                 event,
                 t_us: now.as_micros(),
@@ -185,7 +285,25 @@ impl SimObserver for Recorder {
                 kind: EventKind::Deliver,
                 prefix: Some(prefix),
                 path_len,
+                root,
+                depth,
             });
+        }
+    }
+
+    #[inline]
+    fn on_root_cause(&mut self, id: u32, kind: RootCauseKind, node: AsId, now: SimTime) {
+        self.roots_by_kind[kind.index()] += 1;
+        if let Some(ts) = &mut self.timeseries {
+            ts.record_root(id, kind, node, now.as_micros());
+        }
+    }
+
+    #[inline]
+    fn on_timer_occupancy(&mut self, armed: u64, now: SimTime) {
+        self.armed_peak = self.armed_peak.max(armed);
+        if let Some(ts) = &mut self.timeseries {
+            ts.record_timer_occupancy(armed, now.as_micros());
         }
     }
 
@@ -202,6 +320,8 @@ impl SimObserver for Recorder {
                 kind: EventKind::MraiExpire,
                 prefix: None,
                 path_len: None,
+                root: None,
+                depth: None,
             });
         }
     }
@@ -217,6 +337,8 @@ impl SimObserver for Recorder {
                 kind: EventKind::ProcDone,
                 prefix: None,
                 path_len: None,
+                root: None,
+                depth: None,
             });
         }
     }
@@ -232,6 +354,9 @@ impl SimObserver for Recorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timeseries::TimeSeriesSpec;
+    use bgpscale_topology::NodeType;
+    use std::sync::Arc;
 
     #[test]
     fn recorder_counts_hooks_into_registry() {
@@ -246,6 +371,8 @@ mod tests {
             UpdateClass::Announce,
             0,
             Some(4),
+            &Provenance::root(0).with_rel(Relationship::Provider),
+            2,
             SimTime::from_millis(5),
         );
         rec.on_message(
@@ -255,8 +382,12 @@ mod tests {
             UpdateClass::Withdraw,
             0,
             None,
+            &Provenance::none(),
+            1,
             SimTime::from_millis(6),
         );
+        rec.on_root_cause(0, RootCauseKind::Originate, AsId(1), SimTime::ZERO);
+        rec.on_timer_occupancy(5, SimTime::from_millis(6));
         rec.on_mrai_flush(AsId(1), 3, SimTime::from_millis(7));
         rec.on_decision_run(AsId(2), SimTime::from_millis(8));
         rec.on_quiescence(SimTime::from_secs(30), 123);
@@ -276,10 +407,20 @@ mod tests {
         assert_eq!(r.gauge("sim.last_quiescence_us").unwrap().value, 30_000_000);
         let h = r.histogram("messages.path_len").unwrap();
         assert_eq!(h.count(), 1);
+        // Provenance accounting.
+        assert_eq!(r.counter("provenance.stamped"), 1);
+        assert_eq!(r.counter("provenance.unstamped"), 1);
+        assert_eq!(r.counter("provenance.coalesced"), 0);
+        assert_eq!(r.counter("provenance.to_provider"), 1);
+        assert_eq!(r.counter("provenance.roots.originate"), 1);
+        assert_eq!(r.counter("provenance.roots"), 1);
+        assert_eq!(r.gauge("sim.inbox_depth_peak").unwrap().value, 2);
+        assert_eq!(r.gauge("mrai.armed_peak").unwrap().value, 5);
+        assert_eq!(r.histogram("provenance.depth").unwrap().count(), 1);
     }
 
     #[test]
-    fn trace_records_carry_event_index_and_kinds() {
+    fn trace_records_carry_event_index_kinds_and_provenance() {
         let mut rec = Recorder::with_trace(9, Some(1));
         rec.on_message(
             AsId(1),
@@ -288,6 +429,8 @@ mod tests {
             UpdateClass::Announce,
             7,
             Some(2),
+            &Provenance::root(4).child(),
+            1,
             SimTime::from_micros(10),
         );
         rec.on_decision_run(AsId(2), SimTime::from_micros(20));
@@ -297,7 +440,10 @@ mod tests {
         assert!(t.iter().all(|r| r.event == 9));
         assert_eq!(t[0].kind, EventKind::Deliver);
         assert_eq!(t[0].prefix, Some(7));
+        assert_eq!(t[0].root, Some(4));
+        assert_eq!(t[0].depth, Some(1));
         assert_eq!(t[1].kind, EventKind::ProcDone);
+        assert_eq!(t[1].root, None);
         assert_eq!(t[2].kind, EventKind::MraiExpire);
     }
 
@@ -305,6 +451,41 @@ mod tests {
     fn metrics_only_recorder_has_no_trace() {
         let mut rec = Recorder::new(0);
         rec.on_decision_run(AsId(0), SimTime::ZERO);
-        assert!(rec.into_trace().is_empty());
+        let (trace, series) = rec.into_parts();
+        assert!(trace.is_empty());
+        assert!(series.is_none());
+    }
+
+    #[test]
+    fn timeseries_option_yields_a_one_event_series() {
+        let spec = TimeSeriesSpec {
+            bin_us: 1_000,
+            node_types: Arc::from(vec![NodeType::T, NodeType::C]),
+        };
+        let mut rec = Recorder::with_options(
+            3,
+            RecorderOptions {
+                trace_sample: None,
+                timeseries: Some(spec),
+            },
+        );
+        rec.on_root_cause(0, RootCauseKind::Originate, AsId(0), SimTime::ZERO);
+        rec.on_message(
+            AsId(0),
+            AsId(1),
+            Relationship::Provider,
+            UpdateClass::Announce,
+            0,
+            Some(1),
+            &Provenance::root(0),
+            1,
+            SimTime::from_micros(500),
+        );
+        let (_, series) = rec.into_parts();
+        let series = series.expect("time series enabled");
+        assert_eq!(series.events, 1);
+        assert_eq!(series.total_updates(), 1);
+        assert_eq!(series.roots.len(), 1);
+        assert_eq!(series.roots[0].event, 3);
     }
 }

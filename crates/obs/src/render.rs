@@ -1,0 +1,213 @@
+//! Dependency-free HTML/SVG rendering helpers for self-contained reports.
+//!
+//! Everything here emits plain strings — no external crates, no CSS or
+//! JS fetched from anywhere — so a report written with these helpers is a
+//! single file that opens offline. Coordinates are formatted with one
+//! fixed decimal, making the output a pure function of its inputs.
+
+use std::fmt::Write as _;
+
+/// Escapes `&`, `<`, `>`, `"` for safe embedding in HTML text/attributes.
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+const PAD: f64 = 2.0;
+
+/// Maps `values` to polyline points spanning `width`×`height` with a
+/// 2px pad; y grows downward in SVG, so the max value sits at the top.
+fn polyline_points(values: &[u64], width: u32, height: u32) -> String {
+    let max = values.iter().copied().max().unwrap_or(0).max(1) as f64;
+    let w = f64::from(width) - 2.0 * PAD;
+    let h = f64::from(height) - 2.0 * PAD;
+    let step = if values.len() > 1 {
+        w / (values.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let mut pts = String::new();
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            pts.push(' ');
+        }
+        let x = PAD + step * i as f64;
+        let y = PAD + h * (1.0 - v as f64 / max);
+        let _ = write!(pts, "{},{}", fmt1(x), fmt1(y));
+    }
+    pts
+}
+
+/// An inline SVG sparkline of `values` (one point per bin).
+pub fn svg_sparkline(values: &[u64], width: u32, height: u32, color: &str) -> String {
+    if values.is_empty() {
+        return format!(
+            "<svg width=\"{width}\" height=\"{height}\" class=\"spark empty\"></svg>"
+        );
+    }
+    format!(
+        "<svg width=\"{width}\" height=\"{height}\" class=\"spark\" \
+         viewBox=\"0 0 {width} {height}\"><polyline fill=\"none\" stroke=\"{}\" \
+         stroke-width=\"1.2\" points=\"{}\"/></svg>",
+        html_escape(color),
+        polyline_points(values, width, height)
+    )
+}
+
+/// An inline SVG bar chart with per-bar labels underneath.
+pub fn svg_bars(
+    labels: &[&str],
+    values: &[u64],
+    width: u32,
+    height: u32,
+    color: &str,
+) -> String {
+    assert_eq!(labels.len(), values.len(), "one label per bar");
+    if values.is_empty() {
+        return format!("<svg width=\"{width}\" height=\"{height}\" class=\"bars empty\"></svg>");
+    }
+    let label_h = 12.0;
+    let max = values.iter().copied().max().unwrap_or(0).max(1) as f64;
+    let w = f64::from(width) - 2.0 * PAD;
+    let h = f64::from(height) - 2.0 * PAD - label_h;
+    let slot = w / values.len() as f64;
+    let bar_w = (slot * 0.8).max(1.0);
+    let mut s = format!(
+        "<svg width=\"{width}\" height=\"{height}\" class=\"bars\" \
+         viewBox=\"0 0 {width} {height}\">"
+    );
+    for (i, (&v, label)) in values.iter().zip(labels).enumerate() {
+        let bh = h * v as f64 / max;
+        let x = PAD + slot * i as f64 + (slot - bar_w) / 2.0;
+        let y = PAD + h - bh;
+        let _ = write!(
+            s,
+            "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
+            fmt1(x),
+            fmt1(y),
+            fmt1(bar_w),
+            fmt1(bh),
+            html_escape(color)
+        );
+        let _ = write!(
+            s,
+            "<text x=\"{}\" y=\"{}\" font-size=\"9\" text-anchor=\"middle\">{}</text>",
+            fmt1(x + bar_w / 2.0),
+            fmt1(f64::from(height) - PAD),
+            html_escape(label)
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// An inline SVG empirical CDF of `sorted_values` (ascending), drawn as a
+/// step polyline from 0 to 1 over the value range.
+pub fn svg_cdf(sorted_values: &[u64], width: u32, height: u32, color: &str) -> String {
+    if sorted_values.is_empty() {
+        return format!("<svg width=\"{width}\" height=\"{height}\" class=\"cdf empty\"></svg>");
+    }
+    debug_assert!(sorted_values.windows(2).all(|w| w[0] <= w[1]));
+    let n = sorted_values.len() as f64;
+    let max = (*sorted_values.last().unwrap()).max(1) as f64;
+    let w = f64::from(width) - 2.0 * PAD;
+    let h = f64::from(height) - 2.0 * PAD;
+    let mut pts = format!("{},{}", fmt1(PAD), fmt1(PAD + h));
+    for (i, &v) in sorted_values.iter().enumerate() {
+        let x = PAD + w * v as f64 / max;
+        let y_before = PAD + h * (1.0 - i as f64 / n);
+        let y_after = PAD + h * (1.0 - (i + 1) as f64 / n);
+        let _ = write!(
+            pts,
+            " {},{} {},{}",
+            fmt1(x),
+            fmt1(y_before),
+            fmt1(x),
+            fmt1(y_after)
+        );
+    }
+    format!(
+        "<svg width=\"{width}\" height=\"{height}\" class=\"cdf\" \
+         viewBox=\"0 0 {width} {height}\"><polyline fill=\"none\" stroke=\"{}\" \
+         stroke-width=\"1.2\" points=\"{pts}\"/></svg>",
+        html_escape(color)
+    )
+}
+
+/// Wraps a body in a complete standalone HTML page with inline CSS.
+pub fn html_page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{}</title><style>\
+         body{{font-family:monospace;margin:2em;max-width:72em}}\
+         h1,h2{{font-weight:normal}}\
+         table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:0.3em 0.7em;text-align:right}}\
+         th{{background:#eee}}\
+         .panel{{display:inline-block;vertical-align:top;margin:0.5em 1.2em 0.5em 0}}\
+         .panel p{{margin:0.2em 0;font-size:0.85em;color:#333}}\
+         svg{{background:#fafafa;border:1px solid #ddd}}\
+         </style></head><body>\n{}\n</body></html>\n",
+        html_escape(title),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_html_specials() {
+        assert_eq!(html_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(html_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn sparkline_renders_points_and_is_deterministic() {
+        let s = svg_sparkline(&[0, 5, 10], 100, 20, "#336");
+        assert!(s.contains("<polyline"));
+        assert!(s.contains("points=\"2.0,18.0 50.0,10.0 98.0,2.0\""), "{s}");
+        assert_eq!(s, svg_sparkline(&[0, 5, 10], 100, 20, "#336"));
+        assert!(svg_sparkline(&[], 100, 20, "x").contains("empty"));
+    }
+
+    #[test]
+    fn bars_render_one_rect_and_label_per_value() {
+        let s = svg_bars(&["a", "b"], &[1, 2], 80, 40, "#633");
+        assert_eq!(s.matches("<rect").count(), 2);
+        assert_eq!(s.matches("<text").count(), 2);
+        assert!(s.contains(">a</text>") && s.contains(">b</text>"));
+    }
+
+    #[test]
+    fn cdf_steps_from_zero_to_one() {
+        let s = svg_cdf(&[10, 20], 100, 40, "#363");
+        assert!(s.contains("<polyline"));
+        // Ends at the top-right corner (y = PAD), full CDF reached.
+        assert!(s.contains("98.0,2.0"), "{s}");
+        assert!(svg_cdf(&[], 100, 40, "x").contains("empty"));
+    }
+
+    #[test]
+    fn page_is_standalone_html() {
+        let p = html_page("t<5", "<p>body</p>");
+        assert!(p.starts_with("<!DOCTYPE html>"));
+        assert!(p.contains("<title>t&lt;5</title>"));
+        assert!(p.contains("<p>body</p>"));
+        assert!(p.ends_with("</body></html>\n"));
+    }
+}

@@ -29,6 +29,10 @@ pub struct TraceRecord {
     pub prefix: Option<u32>,
     /// AS-path length of a delivered announcement.
     pub path_len: Option<u32>,
+    /// Primary (lowest) root-cause id of a stamped delivery.
+    pub root: Option<u32>,
+    /// Causal depth of a stamped delivery.
+    pub depth: Option<u32>,
 }
 
 impl TraceRecord {
@@ -46,6 +50,12 @@ impl TraceRecord {
         }
         if let Some(l) = self.path_len {
             s.push_str(&format!(",\"path_len\":{l}"));
+        }
+        if let Some(r) = self.root {
+            s.push_str(&format!(",\"root\":{r}"));
+        }
+        if let Some(d) = self.depth {
+            s.push_str(&format!(",\"depth\":{d}"));
         }
         s.push('}');
         s
@@ -161,6 +171,8 @@ mod tests {
             kind: EventKind::Deliver,
             prefix: Some(1),
             path_len: Some(4),
+            root: Some(2),
+            depth: Some(5),
         }
     }
 
@@ -169,11 +181,14 @@ mod tests {
         let full = rec(10).to_json_line();
         assert_eq!(
             full,
-            "{\"event\":3,\"t_us\":10,\"node\":7,\"kind\":\"deliver\",\"prefix\":1,\"path_len\":4}"
+            "{\"event\":3,\"t_us\":10,\"node\":7,\"kind\":\"deliver\",\"prefix\":1,\
+             \"path_len\":4,\"root\":2,\"depth\":5}"
         );
         let bare = TraceRecord {
             prefix: None,
             path_len: None,
+            root: None,
+            depth: None,
             kind: EventKind::MraiExpire,
             ..rec(10)
         }

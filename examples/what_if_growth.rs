@@ -36,6 +36,7 @@ fn main() {
                 events,
                 seed,
                 bgp: BgpConfig::default(),
+                event_limit: None,
             });
             print!("  {:>14.2}", report.by_type(NodeType::T).u_total);
         }

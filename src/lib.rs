@@ -43,6 +43,7 @@
 //!     events: 5,
 //!     seed: 42,
 //!     bgp: BgpConfig::default(),
+//!     event_limit: None,
 //! });
 //!
 //! // 3. Tier-1 networks hear more churn than customer stubs.

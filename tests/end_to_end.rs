@@ -13,6 +13,7 @@ fn full_pipeline_baseline() {
         events: 5,
         seed: 1,
         bgp: BgpConfig::default(),
+        event_limit: None,
     };
     let report = run_experiment(&cfg);
     assert_eq!(report.n, 400);
@@ -36,6 +37,7 @@ fn experiment_is_reproducible_end_to_end() {
         events: 4,
         seed: 99,
         bgp: BgpConfig::default(),
+        event_limit: None,
     };
     let a = run_experiment(&cfg);
     let b = run_experiment(&cfg);
@@ -56,6 +58,7 @@ fn every_scenario_runs_end_to_end() {
             events: 2,
             seed: 5,
             bgp: BgpConfig::default(),
+            event_limit: None,
         });
         assert!(
             report.mean_total_updates > 0.0,
@@ -109,6 +112,7 @@ fn wrate_increases_churn_at_moderate_scale() {
             events: 8,
             seed: 3,
             bgp,
+            event_limit: None,
         });
         totals.push(report.mean_total_updates);
     }
@@ -128,6 +132,7 @@ fn tree_invariant_holds_through_the_facade() {
         events: 6,
         seed: 8,
         bgp: BgpConfig::default(),
+        event_limit: None,
     });
     assert!(
         (report.by_type(NodeType::T).u_total - 2.0).abs() < 1e-9,
@@ -144,6 +149,7 @@ fn convergence_time_reported_in_seconds() {
         events: 3,
         seed: 21,
         bgp: BgpConfig::default(),
+        event_limit: None,
     });
     // NO-WRATE DOWN convergence: sub-minute; UP can take a few MRAI
     // rounds.
