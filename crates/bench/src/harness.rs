@@ -11,7 +11,9 @@
 //! count) are printed to stdout in a stable `group/id: …` format, which is
 //! what the perf-trajectory tooling greps for.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use bgpscale_simkernel::Stopwatch;
 
 /// How `iter_batched` should amortize setup cost. Only the variants the
 /// benches use are provided; this shim runs one routine call per setup
@@ -116,7 +118,7 @@ impl BenchmarkGroup<'_> {
         };
 
         // Warm-up: run untimed passes until the budget is spent.
-        let warm_start = Instant::now();
+        let warm_start = Stopwatch::start();
         while warm_start.elapsed() < self.warm_up {
             b.elapsed = Duration::ZERO;
             f(&mut b);
@@ -125,7 +127,7 @@ impl BenchmarkGroup<'_> {
         // Measurement: collect up to sample_size samples within the budget
         // (always at least one).
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
-        let measure_start = Instant::now();
+        let measure_start = Stopwatch::start();
         while samples.len() < self.sample_size {
             b.elapsed = Duration::ZERO;
             f(&mut b);
@@ -166,7 +168,7 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let out = routine();
         self.elapsed += start.elapsed();
         drop(out);
@@ -180,7 +182,7 @@ impl Bencher {
         R: FnMut(I) -> O,
     {
         let input = setup();
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let out = routine(input);
         self.elapsed += start.elapsed();
         drop(out);

@@ -14,6 +14,8 @@
 //!   MRAI value sweep, sender-side vs receiver-side loop detection,
 //!   uniform vs constant service times, WRATE vs NO-WRATE.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use bgpscale_bgp::{BgpConfig, Prefix};

@@ -5,7 +5,7 @@ use bgpscale_simkernel::SimDuration;
 use crate::rfd::RfdConfig;
 
 /// How the MRAI timer treats explicit withdrawals (§2 of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MraiMode {
     /// RFC 1771 behavior (and Quagga's): explicit withdrawals are **not**
     /// rate-limited — they are sent the moment they are generated, and do

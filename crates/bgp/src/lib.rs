@@ -29,6 +29,8 @@
 //!   future-work mechanism: per-(session, prefix) penalties with
 //!   exponential decay, suppression and reuse.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod decision;
 pub mod message;

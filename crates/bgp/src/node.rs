@@ -13,7 +13,7 @@
 //! export filter for every neighbor and submit the new intent (announce /
 //! withdraw / nothing) to that neighbor's output queue.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use bgpscale_obs::Provenance;
 use bgpscale_simkernel::SimTime;
@@ -128,7 +128,7 @@ impl PrefixState {
 pub struct BgpNode {
     id: AsId,
     sessions: Vec<Session>,
-    slot_of: HashMap<AsId, u32>,
+    slot_of: BTreeMap<AsId, u32>,
     mode: MraiMode,
     /// Sender-side loop detection (§4.1). On by default; the ablation
     /// benches disable it to quantify how much churn it suppresses.
@@ -154,7 +154,7 @@ impl BgpNode {
     /// # Panics
     /// Panics if a neighbor appears twice or equals `id`.
     pub fn new(id: AsId, sessions: Vec<Session>, mode: MraiMode) -> Self {
-        let mut slot_of = HashMap::with_capacity(sessions.len());
+        let mut slot_of = BTreeMap::new();
         for (i, s) in sessions.iter().enumerate() {
             assert_ne!(s.peer, id, "session with self at {id}");
             let prev = slot_of.insert(s.peer, i as u32);

@@ -29,7 +29,7 @@ proptest! {
         entries in prop::collection::vec((0u32..10_000, rel_strategy(), path_strategy()), 1..12),
     ) {
         // Deduplicate neighbor ids (one route per session).
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let entries: Vec<_> = entries
             .into_iter()
             .filter(|(id, _, _)| seen.insert(*id))
@@ -83,11 +83,11 @@ proptest! {
     ) {
         let mut q = OutQueue::new();
         // The neighbor's view, replayed from transmissions.
-        let mut neighbor: std::collections::HashMap<Prefix, AsPath> = Default::default();
+        let mut neighbor: std::collections::BTreeMap<Prefix, AsPath> = Default::default();
         // The latest intent per prefix.
-        let mut intent: std::collections::HashMap<Prefix, Option<AsPath>> = Default::default();
+        let mut intent: std::collections::BTreeMap<Prefix, Option<AsPath>> = Default::default();
 
-        let apply = |neighbor: &mut std::collections::HashMap<Prefix, AsPath>, u: Update| {
+        let apply = |neighbor: &mut std::collections::BTreeMap<Prefix, AsPath>, u: Update| {
             match u.kind {
                 UpdateKind::Announce(p) => { neighbor.insert(u.prefix, p); }
                 UpdateKind::Withdraw => {

@@ -48,6 +48,8 @@
 //! assert!(report.by_type(NodeType::T).u_total >= 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cevent;
 pub mod churn;
 pub mod factors;

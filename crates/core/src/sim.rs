@@ -143,7 +143,7 @@ pub struct Simulator<O: SimObserver = NoopObserver> {
     /// expiry events can be recognized and dropped.
     mrai_epoch: Vec<Vec<u32>>,
     /// Links currently failed, stored as `(min, max)` endpoint pairs.
-    down_links: std::collections::HashSet<(AsId, AsId)>,
+    down_links: std::collections::BTreeSet<(AsId, AsId)>,
     /// Messages lost because their link failed while they were in flight.
     messages_dropped: u64,
     /// Next root-cause id for provenance stamps. Ids are allocated

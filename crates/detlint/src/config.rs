@@ -1,0 +1,275 @@
+//! `detlint.toml`: the checked-in rule configuration, hand-parsed.
+//!
+//! Only the TOML subset the linter needs is supported — `[section]`
+//! headers and `key = value` pairs where a value is a bool, a quoted
+//! string, or a (possibly multi-line) array of quoted strings. `#`
+//! comments are allowed. Unknown sections or keys are **errors**, so a
+//! typo can never silently disable a rule.
+//!
+//! ```toml
+//! [scan]
+//! include = ["crates", "src"]
+//! exclude = ["crates/vendor", "target"]
+//!
+//! [deterministic]
+//! paths = ["crates/simkernel/src", "crates/core/src"]
+//!
+//! [integer-only]
+//! paths = ["crates/obs/src/metrics.rs"]
+//!
+//! [exempt]
+//! # Whole sanctioned modules, per rule (single lines use an audited
+//! # `// detlint::allow(rule, reason = "...")` comment instead).
+//! wall-clock = ["crates/simkernel/src/wallclock.rs"]
+//!
+//! [rules]
+//! wall-clock = true
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::rules::Rule;
+
+/// Parsed `detlint.toml`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Directories (relative to the root) to walk for `.rs` files.
+    pub include: Vec<String>,
+    /// Path prefixes to skip entirely.
+    pub exclude: Vec<String>,
+    /// Path prefixes holding deterministic-tier code.
+    pub deterministic: Vec<String>,
+    /// Files (or prefixes) whose counters must stay integral.
+    pub integer_only: Vec<String>,
+    /// Per-rule sanctioned-module exemptions (path prefixes).
+    pub exempt: BTreeMap<Rule, Vec<String>>,
+    /// Per-rule on/off switches (default: on).
+    pub enabled: BTreeMap<Rule, bool>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            include: vec![".".to_string()],
+            exclude: Vec::new(),
+            deterministic: Vec::new(),
+            integer_only: Vec::new(),
+            exempt: BTreeMap::new(),
+            enabled: BTreeMap::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Reads and parses a config file.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses config text.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated section header"))?;
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "scan" | "deterministic" | "integer-only" | "exempt" | "rules" => {}
+                    other => return Err(format!("line {lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            // Multi-line arrays: keep consuming until the closing bracket.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_toml_comment(cont).trim().to_string();
+                    value.push(' ');
+                    value.push_str(&cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(format!("line {lineno}: unterminated array for `{key}`"));
+                }
+            }
+            cfg.apply(&section, &key, &value)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+        }
+        if cfg.include.is_empty() {
+            return Err("`[scan] include` must not be empty".to_string());
+        }
+        Ok(cfg)
+    }
+
+    fn apply(&mut self, section: &str, key: &str, value: &str) -> Result<(), String> {
+        match (section, key) {
+            ("scan", "include") => self.include = parse_string_array(value)?,
+            ("scan", "exclude") => self.exclude = parse_string_array(value)?,
+            ("deterministic", "paths") => self.deterministic = parse_string_array(value)?,
+            ("integer-only", "paths") => self.integer_only = parse_string_array(value)?,
+            ("exempt", rule_id) => {
+                let rule = Rule::from_id(rule_id)
+                    .ok_or_else(|| format!("unknown rule `{rule_id}` in [exempt]"))?;
+                self.exempt.insert(rule, parse_string_array(value)?);
+            }
+            ("rules", rule_id) => {
+                let rule = Rule::from_id(rule_id)
+                    .ok_or_else(|| format!("unknown rule `{rule_id}` in [rules]"))?;
+                let on = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("expected true/false, got `{other}`")),
+                };
+                self.enabled.insert(rule, on);
+            }
+            ("", _) => return Err(format!("key `{key}` outside any section")),
+            (s, k) => return Err(format!("unknown key `{k}` in section [{s}]")),
+        }
+        Ok(())
+    }
+
+    /// True if `rule` is switched on (rules default to on).
+    pub fn rule_enabled(&self, rule: Rule) -> bool {
+        self.enabled.get(&rule).copied().unwrap_or(true)
+    }
+
+    /// True if `rel` (a `/`-separated path relative to the root) lies
+    /// under any of the given prefixes.
+    pub fn path_matches(rel: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| {
+            let p = p.trim_end_matches('/');
+            rel == p || rel.starts_with(&format!("{p}/"))
+        })
+    }
+
+    /// True if the file is deterministic-tier.
+    pub fn is_deterministic(&self, rel: &str) -> bool {
+        Config::path_matches(rel, &self.deterministic)
+    }
+
+    /// True if the file must stay integer-only.
+    pub fn is_integer_only(&self, rel: &str) -> bool {
+        Config::path_matches(rel, &self.integer_only)
+    }
+
+    /// True if the file is a sanctioned module for `rule`.
+    pub fn is_exempt(&self, rel: &str, rule: Rule) -> bool {
+        self.exempt
+            .get(&rule)
+            .is_some_and(|v| Config::path_matches(rel, v))
+    }
+
+    /// True if the path is excluded from scanning altogether.
+    pub fn is_excluded(&self, rel: &str) -> bool {
+        Config::path_matches(rel, &self.exclude)
+    }
+}
+
+/// Drops a `#` comment that is not inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` (flattened to one line by the caller).
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array of strings, got `{value}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let s = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{item}`"))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# tiers
+[scan]
+include = ["crates", "src"]
+exclude = [
+    "crates/vendor",   # offline stand-ins
+    "target",
+]
+
+[deterministic]
+paths = ["crates/core/src"]
+
+[integer-only]
+paths = ["crates/obs/src/metrics.rs"]
+
+[exempt]
+wall-clock = ["crates/simkernel/src/wallclock.rs"]
+
+[rules]
+env-read = false
+"#;
+
+    #[test]
+    fn parses_sections_arrays_and_bools() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.include, ["crates", "src"]);
+        assert_eq!(cfg.exclude, ["crates/vendor", "target"]);
+        assert!(cfg.is_deterministic("crates/core/src/sim.rs"));
+        assert!(!cfg.is_deterministic("crates/core/tests/prop.rs"));
+        assert!(cfg.is_integer_only("crates/obs/src/metrics.rs"));
+        assert!(cfg.is_exempt("crates/simkernel/src/wallclock.rs", Rule::WallClock));
+        assert!(!cfg.is_exempt("crates/simkernel/src/pool.rs", Rule::WallClock));
+        assert!(!cfg.rule_enabled(Rule::EnvRead));
+        assert!(cfg.rule_enabled(Rule::WallClock));
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        assert!(Config::parse("[scn]\ninclude = [\"x\"]").is_err());
+        assert!(Config::parse("[scan]\nincl = [\"x\"]").is_err());
+        assert!(Config::parse("[rules]\nno-such-rule = true").is_err());
+        assert!(Config::parse("[exempt]\nno-such-rule = [\"x\"]").is_err());
+        assert!(Config::parse("key = \"before any section\"").is_err());
+    }
+
+    #[test]
+    fn prefix_matching_is_component_wise() {
+        let p = vec!["crates/core".to_string()];
+        assert!(Config::path_matches("crates/core/src/sim.rs", &p));
+        assert!(Config::path_matches("crates/core", &p));
+        assert!(!Config::path_matches("crates/core2/src/sim.rs", &p));
+    }
+}

@@ -1,0 +1,191 @@
+//! Diagnostics and report rendering (human-readable and JSON).
+//!
+//! Both renderings are deterministic: files are visited in sorted order
+//! and findings are emitted in line order, so two runs over the same tree
+//! produce byte-identical reports — the linter holds itself to the
+//! contract it enforces.
+
+use crate::rules::Rule;
+use crate::scan::Analysis;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    /// Path relative to the scan root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based character column of the offending token.
+    pub column: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col: [rule] explanation` — the `file:line` prefix makes
+    /// terminals and editors link straight to the span.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    {}",
+            self.file,
+            self.line,
+            self.column,
+            self.rule,
+            self.rule.explanation(),
+            self.snippet
+        )
+    }
+}
+
+/// One **used** `detlint::allow` — an audited suppression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowRecord {
+    pub rule: Rule,
+    pub file: String,
+    /// 1-based line of the allow comment.
+    pub line: usize,
+    pub reason: String,
+}
+
+/// Renders the human report for `--check`. `quiet` drops the per-allow
+/// listing (the counts stay in the summary line).
+pub fn render_human(a: &Analysis, quiet: bool) -> String {
+    let mut out = String::new();
+    for d in &a.diagnostics {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    if !quiet && !a.allows.is_empty() {
+        out.push_str(&format!("audited allows ({}):\n", a.allows.len()));
+        for al in &a.allows {
+            out.push_str(&format!(
+                "  {}:{} [{}] {}\n",
+                al.file, al.line, al.rule, al.reason
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "detlint: {} files scanned ({} deterministic, {} integer-only); \
+         {} violation{}, {} audited allow{}\n",
+        a.files.len(),
+        a.deterministic_files,
+        a.integer_only_files,
+        a.diagnostics.len(),
+        plural(a.diagnostics.len()),
+        a.allows.len(),
+        plural(a.allows.len()),
+    ));
+    out.push_str(if a.diagnostics.is_empty() {
+        "detlint: OK\n"
+    } else {
+        "detlint: FAIL\n"
+    });
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Renders the machine report for `--json` / `--json-out` (uploaded as a
+/// CI artifact). Hand-rolled like every other JSON writer in the
+/// workspace; keys are emitted in a fixed order.
+pub fn render_json(a: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", a.files.len()));
+    s.push_str(&format!(
+        "  \"deterministic_files\": {},\n",
+        a.deterministic_files
+    ));
+    s.push_str(&format!(
+        "  \"integer_only_files\": {},\n",
+        a.integer_only_files
+    ));
+    s.push_str(&format!("  \"ok\": {},\n", a.diagnostics.is_empty()));
+    s.push_str("  \"violations\": [\n");
+    for (i, d) in a.diagnostics.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"rule\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \
+             \"snippet\": {}, \"message\": {} }}{}\n",
+            json_str(d.rule.id()),
+            json_str(&d.file),
+            d.line,
+            d.column,
+            json_str(&d.snippet),
+            json_str(d.rule.explanation()),
+            comma(i, a.diagnostics.len()),
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"allows\": [\n");
+    for (i, al) in a.allows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {} }}{}\n",
+            json_str(al.rule.id()),
+            json_str(&al.file),
+            al.line,
+            json_str(&al.reason),
+            comma(i, a.allows.len()),
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Escapes a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn diagnostic_render_links_file_line_col() {
+        let d = Diagnostic {
+            rule: Rule::WallClock,
+            file: "crates/core/src/sim.rs".to_string(),
+            line: 7,
+            column: 13,
+            snippet: "let t = Instant::now();".to_string(),
+        };
+        let r = d.render();
+        assert!(r.starts_with("crates/core/src/sim.rs:7:13: [wall-clock]"));
+        assert!(r.contains("Instant::now"));
+    }
+}

@@ -1,0 +1,111 @@
+//! `--fixtures`: the linter's self-test over seeded bad-code snippets.
+//!
+//! The fixture tree (`crates/detlint/tests/fixtures/`) carries its own
+//! `detlint.toml` plus two kinds of files:
+//!
+//! * `bad/*.rs` — known-bad snippets annotated with rustc-style
+//!   expectation markers: `//~ <rule-id> [<rule-id>…]` on the offending
+//!   line. Self-test passes iff the actual findings for the file are
+//!   **exactly** the expected `(line, rule)` set — a missed firing *and*
+//!   a span drift both fail.
+//! * `clean/*.rs` — idiomatic deterministic code (ordered collections,
+//!   seeded PRNG, an audited allow) asserting zero false positives.
+//!
+//! Fixtures are never compiled; they are scanner input only, which lets
+//! them seed hazards (`thread_rng`, stray `Instant::now`) without
+//! dragging those patterns anywhere near the build.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::rules::Rule;
+use crate::scan::scan_workspace;
+
+/// The outcome of a fixture self-test run.
+#[derive(Clone, Debug, Default)]
+pub struct FixtureReport {
+    /// Fixture files checked.
+    pub checked: usize,
+    /// Expected diagnostics confirmed.
+    pub expected_hits: usize,
+    /// Human-readable mismatch descriptions; empty means PASS.
+    pub failures: Vec<String>,
+}
+
+impl FixtureReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the self-test over the fixture tree at `root`.
+pub fn run(root: &Path) -> Result<FixtureReport, String> {
+    let cfg = Config::load(&root.join("detlint.toml"))?;
+    let analysis =
+        scan_workspace(root, &cfg).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let mut report = FixtureReport::default();
+    for rel in &analysis.files {
+        let text = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {rel}: {e}"))?;
+        let expected = parse_markers(&text).map_err(|e| format!("{rel}: {e}"))?;
+        let actual: BTreeSet<(usize, Rule)> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.file == *rel)
+            .map(|d| (d.line, d.rule))
+            .collect();
+        report.checked += 1;
+        report.expected_hits += expected.intersection(&actual).count();
+        for &(line, rule) in expected.difference(&actual) {
+            report
+                .failures
+                .push(format!("{rel}:{line}: expected [{rule}] did not fire"));
+        }
+        for &(line, rule) in actual.difference(&expected) {
+            report
+                .failures
+                .push(format!("{rel}:{line}: unexpected [{rule}] fired"));
+        }
+    }
+    if report.checked == 0 {
+        report
+            .failures
+            .push(format!("no fixture files found under {}", root.display()));
+    }
+    Ok(report)
+}
+
+/// Extracts `//~ rule [rule…]` markers as a `(line, rule)` set.
+fn parse_markers(text: &str) -> Result<BTreeSet<(usize, Rule)>, String> {
+    let mut out = BTreeSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(at) = line.find("//~") else {
+            continue;
+        };
+        for word in line[at + 3..].split_whitespace() {
+            if word == "//~" {
+                continue;
+            }
+            let rule = Rule::from_id(word)
+                .ok_or_else(|| format!("line {}: unknown rule `{word}` in marker", idx + 1))?;
+            out.insert((idx + 1, rule));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the self-test outcome.
+pub fn render(report: &FixtureReport) -> String {
+    let mut out = String::new();
+    for f in &report.failures {
+        out.push_str(&format!("fixture FAIL: {f}\n"));
+    }
+    out.push_str(&format!(
+        "detlint --fixtures: {} fixture files, {} expected diagnostics confirmed — {}\n",
+        report.checked,
+        report.expected_hits,
+        if report.ok() { "PASS" } else { "FAIL" }
+    ));
+    out
+}

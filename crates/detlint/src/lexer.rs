@@ -1,0 +1,363 @@
+//! Line-oriented Rust lexing: comment/string stripping and tokenizing.
+//!
+//! The scanner works line by line but keeps cross-line state (nested block
+//! comments, multi-line raw strings), so a rule token inside a doc
+//! comment, a string literal, or an HTML template never fires. Stripped
+//! characters are replaced with spaces, which preserves column positions
+//! for diagnostics.
+//!
+//! This is deliberately *not* a full Rust lexer — it is the smallest
+//! state machine that is sound for the hazard patterns we match: exact
+//! identifiers and `::` paths. The classic pitfalls are covered:
+//! `'"'` char literals, lifetimes (`&'a str`), nested `/* /* */ */`
+//! comments, and `r#"..."#` raw strings spanning lines.
+
+/// Cross-line lexer state.
+#[derive(Default)]
+pub struct Lexer {
+    /// Nesting depth of `/* */` block comments (Rust block comments nest).
+    block_comment: usize,
+    /// `Some(hashes)` while inside a multi-line raw string `r#"..."#`.
+    raw_string: Option<usize>,
+}
+
+/// One stripped line.
+pub struct Line {
+    /// The code with comments and literal contents replaced by spaces
+    /// (column-preserving).
+    pub code: String,
+    /// The text of the first `//` comment on the line, without the
+    /// slashes, if any.
+    pub comment: Option<String>,
+}
+
+impl Lexer {
+    pub fn new() -> Lexer {
+        Lexer::default()
+    }
+
+    /// Strips one line, updating cross-line state.
+    pub fn strip_line(&mut self, line: &str) -> Line {
+        let chars: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(chars.len());
+        let mut comment = None;
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            if self.block_comment > 0 {
+                if c == '*' && next == Some('/') {
+                    self.block_comment -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    self.block_comment += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(hashes) = self.raw_string {
+                if c == '"' && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                    self.raw_string = None;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            match c {
+                '/' if next == Some('/') => {
+                    comment = Some(chars[i + 2..].iter().collect::<String>());
+                    break;
+                }
+                '/' if next == Some('*') => {
+                    self.block_comment += 1;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    i = self.skip_normal_string(&chars, i, &mut out);
+                }
+                'r' | 'b' if Self::starts_raw_or_byte_string(&chars, i) => {
+                    // Keep the prefix letters as spaces too; literals carry
+                    // no tokens we match.
+                    i = self.skip_prefixed_string(&chars, i, &mut out);
+                }
+                '\'' => {
+                    i = Self::skip_char_or_lifetime(&chars, i, &mut out);
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        Line { code: out, comment }
+    }
+
+    /// True if position `i` starts `r"`, `r#"`, `b"`, `br"`, or `br#"`
+    /// *and* is not the tail of a longer identifier (`attr"` is not valid
+    /// Rust anyway, but `for r in…` must not trip this).
+    fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+        if i > 0 {
+            let prev = chars[i - 1];
+            if prev.is_alphanumeric() || prev == '_' {
+                return false;
+            }
+        }
+        let mut j = i;
+        if chars.get(j) == Some(&'b') {
+            j += 1;
+        }
+        let raw = chars.get(j) == Some(&'r');
+        if raw {
+            j += 1;
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+        }
+        // `b"…"` (j == i+1, no r) or `r…"`/`br…"`.
+        chars.get(j) == Some(&'"') && (raw || j == i + 1)
+    }
+
+    /// Consumes a normal `"…"` string starting at `i` (the opening quote),
+    /// pushing spaces. An unterminated string is treated as ending at EOL
+    /// (multi-line non-raw strings require a trailing `\`, which is not
+    /// used in this workspace).
+    fn skip_normal_string(&mut self, chars: &[char], mut i: usize, out: &mut String) -> usize {
+        out.push(' ');
+        i += 1;
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    out.push(' ');
+                    return i + 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        i
+    }
+
+    /// Consumes a raw or byte string starting at the `r`/`b` prefix. If a
+    /// raw string does not close on this line, records the open delimiter
+    /// in `self.raw_string`.
+    fn skip_prefixed_string(&mut self, chars: &[char], mut i: usize, out: &mut String) -> usize {
+        let mut raw = false;
+        if chars.get(i) == Some(&'b') {
+            out.push(' ');
+            i += 1;
+        }
+        if chars.get(i) == Some(&'r') {
+            raw = true;
+            out.push(' ');
+            i += 1;
+        }
+        let mut hashes = 0;
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            out.push(' ');
+            i += 1;
+        }
+        debug_assert_eq!(chars.get(i), Some(&'"'));
+        if !raw {
+            return self.skip_normal_string(chars, i, out);
+        }
+        out.push(' ');
+        i += 1;
+        while i < chars.len() {
+            if chars[i] == '"'
+                && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes
+            {
+                for _ in 0..=hashes {
+                    out.push(' ');
+                }
+                return i + 1 + hashes;
+            }
+            out.push(' ');
+            i += 1;
+        }
+        self.raw_string = Some(hashes);
+        i
+    }
+
+    /// Disambiguates a `'` at `i`: a char literal (`'x'`, `'\n'`, `'"'`)
+    /// is stripped; a lifetime tick (`&'a str`) is replaced by a space and
+    /// the following identifier lexes normally (lifetimes never collide
+    /// with our patterns — none is a bare hazard identifier).
+    fn skip_char_or_lifetime(chars: &[char], i: usize, out: &mut String) -> usize {
+        if chars.get(i + 1) == Some(&'\\') {
+            // Escaped char literal: strip to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            let end = (j + 1).min(chars.len());
+            for _ in i..end {
+                out.push(' ');
+            }
+            return end;
+        }
+        if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1).is_some() {
+            out.push_str("   ");
+            return i + 3;
+        }
+        out.push(' ');
+        i + 1
+    }
+}
+
+/// One token of stripped code: its 0-based char column and text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub col: usize,
+    pub text: String,
+}
+
+/// Tokenizes stripped code: identifiers, numbers, `::`, and single
+/// punctuation characters. Whitespace separates.
+pub fn tokenize(code: &str) -> Vec<Token> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                col: start,
+                text: chars[start..i].iter().collect(),
+            });
+        } else if c.is_ascii_digit() {
+            // A numeric literal, including any type suffix (`1.0f64`):
+            // one token, so suffixes never masquerade as type identifiers.
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            tokens.push(Token {
+                col: start,
+                text: chars[start..i].iter().collect(),
+            });
+        } else if c == ':' && chars.get(i + 1) == Some(&':') {
+            tokens.push(Token {
+                col: i,
+                text: "::".to_string(),
+            });
+            i += 2;
+        } else {
+            tokens.push(Token {
+                col: i,
+                text: c.to_string(),
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(src: &str) -> Vec<String> {
+        let mut lx = Lexer::new();
+        src.lines().map(|l| lx.strip_line(l).code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_and_captured() {
+        let mut lx = Lexer::new();
+        let line = lx.strip_line("let x = 1; // HashMap here");
+        assert_eq!(line.code, "let x = 1; ");
+        assert_eq!(line.comment.as_deref(), Some(" HashMap here"));
+    }
+
+    #[test]
+    fn strings_are_stripped_column_preserving() {
+        let mut lx = Lexer::new();
+        let line = lx.strip_line(r#"let s = "Instant::now"; let y = 2;"#);
+        assert!(!line.code.contains("Instant"));
+        assert_eq!(line.code.chars().count(), r#"let s = "Instant::now"; let y = 2;"#.len());
+        assert!(line.code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_end_it() {
+        let mut lx = Lexer::new();
+        let line = lx.strip_line(r#"let s = "a\"HashMap"; ok()"#);
+        assert!(!line.code.contains("HashMap"));
+        assert!(line.code.contains("ok()"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let out = strip("a /* x /* SystemTime */ y\nstill SystemTime */ b");
+        assert!(!out[0].contains("SystemTime"));
+        assert!(!out[1].contains("SystemTime"));
+        assert!(out[1].contains('b'));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let out = strip("let h = r#\"<b>\nInstant::now()\n\"# ; tail()");
+        assert!(!out[1].contains("Instant"));
+        assert!(out[2].contains("tail()"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_and_lifetimes() {
+        let mut lx = Lexer::new();
+        let line = lx.strip_line(r#"if c == '"' { f::<&'a str>(HashMap) }"#);
+        // The '"' char literal must not open a string that swallows the rest.
+        assert!(line.code.contains("HashMap"));
+        let line2 = lx.strip_line(r"let n = '\n'; g()");
+        assert!(line2.code.contains("g()"));
+    }
+
+    #[test]
+    fn r_identifier_is_not_a_raw_string() {
+        let mut lx = Lexer::new();
+        let line = lx.strip_line(r#"for r in rows { use_it(r, "x") }"#);
+        assert!(line.code.contains("for r in rows"));
+    }
+
+    #[test]
+    fn tokenizer_yields_idents_and_paths() {
+        let toks = tokenize("std::thread::spawn(f)");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["std", "::", "thread", "::", "spawn", "(", "f", ")"]);
+        assert_eq!(toks[2].col, 5);
+    }
+
+    #[test]
+    fn numeric_suffixes_do_not_split() {
+        let toks = tokenize("let x = 1.0f64 + y_f64;");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"1.0f64"));
+        assert!(texts.contains(&"y_f64"));
+        assert!(!texts.contains(&"f64"));
+    }
+}

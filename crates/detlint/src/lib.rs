@@ -1,0 +1,65 @@
+//! # bgpscale-detlint
+//!
+//! A workspace **determinism linter**: a zero-dependency, token-level
+//! static analyzer that guards the bit-identical-replay contract of the
+//! `bgpscale` simulator.
+//!
+//! The paper's churn measurements (Eq. 1's `U(X) = Σ m·q·e` decomposition,
+//! the Fig. 1 trends) are trustworthy because the harness promises
+//! byte-identical `ChurnReport` / `metrics.json` / `timeseries.json` for
+//! *any* `--jobs` value. Runtime regression tests sample that contract at
+//! jobs = 1/4/8; `detlint` enforces it **statically**, rejecting hazard
+//! patterns before they ever reach a run:
+//!
+//! | rule | rejects | in |
+//! |------|---------|----|
+//! | `wall-clock` | `Instant`, `SystemTime`, `Stopwatch`, `wallclock` | deterministic crates |
+//! | `thread-spawn` | `thread::spawn` / `thread::scope` / `thread::Builder` outside `simkernel::pool` | deterministic crates |
+//! | `unordered-collection` | `HashMap` / `HashSet` (unspecified iteration order) | deterministic crates |
+//! | `unseeded-random` | `thread_rng`, `from_entropy`, `RandomState`, `OsRng`, `rand::random`, `getrandom` | deterministic crates |
+//! | `env-read` | `env::var` / `env::var_os` / `env::vars` | deterministic crates |
+//! | `float-accum` | `f32` / `f64` | integer-only counter files |
+//! | `stale-allow` | a `detlint::allow` that suppressed nothing | everywhere |
+//! | `bad-allow` | a malformed `detlint::allow` | everywhere |
+//!
+//! Which crates are "deterministic" and which files are "integer-only" is
+//! configured in a checked-in [`detlint.toml`](config); whole sanctioned
+//! modules (e.g. `simkernel::wallclock`, `simkernel::pool`) are exempted
+//! there, while individual lines are suppressed only via an **audited**
+//! comment that the tool counts and reports:
+//!
+//! ```text
+//! std::env::var("BGPSCALE_LOG") // detlint::allow(env-read, reason = "log level, never enters artifacts")
+//! ```
+//!
+//! The binary (`cargo run -p bgpscale-detlint -- --check`) exits with the
+//! workspace-wide convention shared with `repro profile --check`:
+//! `0` = clean, `1` = violations found, `2` = usage/config error.
+//!
+//! Lexing is line-oriented but state-tracking: block comments (nested),
+//! multi-line raw strings, char-literal/lifetime disambiguation, and
+//! `#[cfg(test)]` module skipping are all handled so that rule tokens in
+//! comments, strings, and unit tests never produce false positives. See
+//! `docs/ARCHITECTURE.md` § "Static determinism guarantees" for how this
+//! relates to the jobs-1/4/8 runtime tests.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod fixtures;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use diag::{AllowRecord, Diagnostic};
+pub use rules::Rule;
+pub use scan::Analysis;
+
+/// Exit code: the scan found no violations.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: violations (or fixture self-test failures) were found.
+pub const EXIT_VIOLATIONS: i32 = 1;
+/// Exit code: bad command line, unreadable root, or invalid config.
+pub const EXIT_USAGE: i32 = 2;

@@ -1,0 +1,167 @@
+//! `detlint` — the workspace determinism linter CLI.
+//!
+//! ```text
+//! detlint [--check] [--fixtures] [--json] [--json-out FILE]
+//!         [--root DIR] [--config FILE] [--list-rules] [--quiet]
+//!
+//! modes:
+//!   --check       scan the workspace under detlint.toml (the default)
+//!   --fixtures    self-test: assert every rule fires at the expected span
+//!                 over the seeded bad-code fixtures, and that the clean
+//!                 fixtures produce zero findings
+//!   --list-rules  print the rule table and exit
+//!
+//! options:
+//!   --root DIR    workspace root (default: the current directory; for
+//!                 --fixtures: crates/detlint/tests/fixtures under it)
+//!   --config FILE rule configuration (default: <root>/detlint.toml)
+//!   --json        print the machine-readable report to stdout
+//!   --json-out F  additionally write the JSON report to F (CI artifact)
+//!   --quiet       suppress the audited-allow listing
+//!
+//! exit codes (shared convention with `repro profile --check` and
+//! `repro report --check`):
+//!   0  clean — no violations
+//!   1  violations found (or fixture self-test failures)
+//!   2  usage error, unreadable root, or invalid detlint.toml
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bgpscale_detlint::{config::Config, diag, fixtures, scan};
+use bgpscale_detlint::{EXIT_OK, EXIT_USAGE, EXIT_VIOLATIONS};
+
+struct Options {
+    mode: Mode,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: bool,
+    json_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+#[derive(PartialEq, Eq)]
+enum Mode {
+    Check,
+    Fixtures,
+    ListRules,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("detlint: {msg}");
+    }
+    eprintln!(
+        "usage: detlint [--check|--fixtures|--list-rules] [--root DIR] [--config FILE] \
+         [--json] [--json-out FILE] [--quiet]\n\
+         exit codes: 0 = clean, 1 = violations, 2 = usage/config error"
+    );
+    ExitCode::from(EXIT_USAGE as u8)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        mode: Mode::Check,
+        root: None,
+        config: None,
+        json: false,
+        json_out: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.mode = Mode::Check,
+            "--fixtures" => opts.mode = Mode::Fixtures,
+            "--list-rules" => opts.mode = Mode::ListRules,
+            "--json" => opts.json = true,
+            "--quiet" => opts.quiet = true,
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--config" => {
+                let v = args.next().ok_or("--config needs a file")?;
+                opts.config = Some(PathBuf::from(v));
+            }
+            "--json-out" => {
+                let v = args.next().ok_or("--json-out needs a file")?;
+                opts.json_out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                // Asking for help is not a usage *error*.
+                usage("");
+                std::process::exit(EXIT_OK);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => return usage(&msg),
+    };
+    match opts.mode {
+        Mode::ListRules => {
+            for rule in bgpscale_detlint::Rule::ALL {
+                println!("{:22} {}", rule.id(), rule.explanation());
+            }
+            ExitCode::from(EXIT_OK as u8)
+        }
+        Mode::Fixtures => {
+            let root = opts
+                .root
+                .unwrap_or_else(|| PathBuf::from("crates/detlint/tests/fixtures"));
+            if !root.is_dir() {
+                return usage(&format!("fixture root {} is not a directory", root.display()));
+            }
+            match fixtures::run(&root) {
+                Ok(report) => {
+                    print!("{}", fixtures::render(&report));
+                    if report.ok() {
+                        ExitCode::from(EXIT_OK as u8)
+                    } else {
+                        ExitCode::from(EXIT_VIOLATIONS as u8)
+                    }
+                }
+                Err(msg) => usage(&msg),
+            }
+        }
+        Mode::Check => {
+            let root = opts.root.unwrap_or_else(|| PathBuf::from("."));
+            if !root.is_dir() {
+                return usage(&format!("root {} is not a directory", root.display()));
+            }
+            let config_path = opts.config.unwrap_or_else(|| root.join("detlint.toml"));
+            let cfg = match Config::load(&config_path) {
+                Ok(c) => c,
+                Err(msg) => return usage(&msg),
+            };
+            let analysis = match scan::scan_workspace(&root, &cfg) {
+                Ok(a) => a,
+                Err(e) => return usage(&format!("scanning {}: {e}", root.display())),
+            };
+            if let Some(path) = &opts.json_out {
+                if let Err(e) = std::fs::write(path, diag::render_json(&analysis)) {
+                    return usage(&format!("writing {}: {e}", path.display()));
+                }
+            }
+            if opts.json {
+                print!("{}", diag::render_json(&analysis));
+            } else {
+                print!("{}", diag::render_human(&analysis, opts.quiet));
+            }
+            if analysis.diagnostics.is_empty() {
+                ExitCode::from(EXIT_OK as u8)
+            } else {
+                ExitCode::from(EXIT_VIOLATIONS as u8)
+            }
+        }
+    }
+}

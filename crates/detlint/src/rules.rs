@@ -1,0 +1,203 @@
+//! The determinism rule set: identifiers, token patterns, and messages.
+//!
+//! Rules are matched against the **stripped token stream** of each line
+//! (comments and string literals removed by [`crate::lexer`]), so a rule
+//! token appearing in documentation or in a string never fires. A pattern
+//! is a sequence of exact tokens; identifiers only match whole identifiers
+//! (`thread` never matches `a_thread`), and `::` is a single token.
+
+/// One determinism rule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant`, `SystemTime`, the sanctioned
+    /// `Stopwatch` wrapper, or the `wallclock` module) in a deterministic
+    /// crate.
+    WallClock,
+    /// Ad-hoc threading (`thread::spawn` / `thread::scope` /
+    /// `thread::Builder`) outside `simkernel::pool`.
+    ThreadSpawn,
+    /// `HashMap` / `HashSet`: iteration order is unspecified and can leak
+    /// into fold order.
+    UnorderedCollection,
+    /// Randomness that is not the seeded `simkernel::rng` PRNG.
+    UnseededRandom,
+    /// Environment reads on a deterministic path.
+    EnvRead,
+    /// `f32` / `f64` in a file declared integer-only (churn/metrics
+    /// counters).
+    FloatAccum,
+    /// A `detlint::allow` comment that suppressed nothing.
+    StaleAllow,
+    /// A `detlint::allow` comment that does not parse (unknown rule or
+    /// missing `reason = "..."`).
+    BadAllow,
+}
+
+/// Where a rule applies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Applicability {
+    /// Files under a `[deterministic] paths` prefix.
+    Deterministic,
+    /// Files listed under `[integer-only] paths`.
+    IntegerOnly,
+    /// Allow-comment hygiene: checked in every scanned file.
+    Meta,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 8] = [
+        Rule::WallClock,
+        Rule::ThreadSpawn,
+        Rule::UnorderedCollection,
+        Rule::UnseededRandom,
+        Rule::EnvRead,
+        Rule::FloatAccum,
+        Rule::StaleAllow,
+        Rule::BadAllow,
+    ];
+
+    /// The rules that scan token patterns (everything except the
+    /// allow-hygiene meta rules).
+    pub const PATTERN_RULES: [Rule; 6] = [
+        Rule::WallClock,
+        Rule::ThreadSpawn,
+        Rule::UnorderedCollection,
+        Rule::UnseededRandom,
+        Rule::EnvRead,
+        Rule::FloatAccum,
+    ];
+
+    /// The kebab-case identifier used in config, allow comments, and
+    /// diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::UnorderedCollection => "unordered-collection",
+            Rule::UnseededRandom => "unseeded-random",
+            Rule::EnvRead => "env-read",
+            Rule::FloatAccum => "float-accum",
+            Rule::StaleAllow => "stale-allow",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a rule identifier.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    pub fn applicability(self) -> Applicability {
+        match self {
+            Rule::FloatAccum => Applicability::IntegerOnly,
+            Rule::StaleAllow | Rule::BadAllow => Applicability::Meta,
+            _ => Applicability::Deterministic,
+        }
+    }
+
+    /// Token sequences that fire this rule. Empty for meta rules.
+    pub fn patterns(self) -> &'static [&'static [&'static str]] {
+        match self {
+            Rule::WallClock => &[
+                &["Instant"],
+                &["SystemTime"],
+                &["UNIX_EPOCH"],
+                &["Stopwatch"],
+                &["wallclock"],
+            ],
+            Rule::ThreadSpawn => &[
+                &["thread", "::", "spawn"],
+                &["thread", "::", "scope"],
+                &["thread", "::", "Builder"],
+            ],
+            Rule::UnorderedCollection => &[
+                &["HashMap"],
+                &["HashSet"],
+                &["hash_map"],
+                &["hash_set"],
+            ],
+            Rule::UnseededRandom => &[
+                &["thread_rng"],
+                &["from_entropy"],
+                &["RandomState"],
+                &["OsRng"],
+                &["getrandom"],
+                &["rand", "::", "random"],
+            ],
+            Rule::EnvRead => &[
+                &["env", "::", "var"],
+                &["env", "::", "var_os"],
+                &["env", "::", "vars"],
+            ],
+            Rule::FloatAccum => &[&["f32"], &["f64"]],
+            Rule::StaleAllow | Rule::BadAllow => &[],
+        }
+    }
+
+    /// The human explanation appended to every diagnostic of this rule.
+    pub fn explanation(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "wall-clock read in a deterministic crate; simulated time must come from \
+                 simkernel::SimTime (profiling belongs in the sanctioned wallclock/span modules)"
+            }
+            Rule::ThreadSpawn => {
+                "ad-hoc threading in a deterministic crate; all fan-out must go through \
+                 simkernel::pool, whose index-ordered joins keep results schedule-independent"
+            }
+            Rule::UnorderedCollection => {
+                "HashMap/HashSet iteration order is unspecified and can leak into fold order; \
+                 use BTreeMap/BTreeSet or sort before folding"
+            }
+            Rule::UnseededRandom => {
+                "nondeterministic randomness source; the only sanctioned PRNG is the seeded \
+                 simkernel::rng family"
+            }
+            Rule::EnvRead => {
+                "environment read on a deterministic path; a run must be a pure function of \
+                 explicit config + seed"
+            }
+            Rule::FloatAccum => {
+                "float in an integer-only counter file; float accumulation is order-sensitive \
+                 and breaks byte-identical merges — keep counters integral and derive ratios \
+                 at render time behind an audited allow"
+            }
+            Rule::StaleAllow => {
+                "this detlint::allow suppressed nothing; remove it or move it onto the line \
+                 it audits"
+            }
+            Rule::BadAllow => {
+                "malformed detlint::allow; expected detlint::allow(<rule>, reason = \"...\")"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("nope"), None);
+    }
+
+    #[test]
+    fn pattern_rules_have_patterns_and_meta_rules_do_not() {
+        for r in Rule::PATTERN_RULES {
+            assert!(!r.patterns().is_empty(), "{r} should have patterns");
+        }
+        assert!(Rule::StaleAllow.patterns().is_empty());
+        assert!(Rule::BadAllow.patterns().is_empty());
+    }
+}

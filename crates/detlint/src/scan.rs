@@ -1,0 +1,469 @@
+//! The scanner: directory walk, per-file analysis, allow handling.
+//!
+//! Per file, the scan:
+//!
+//! 1. decides the file's tier from the config (deterministic /
+//!    integer-only / neither) and the active rule set;
+//! 2. strips each line with [`crate::lexer`], skipping `#[cfg(test)]`
+//!    blocks by brace tracking (unit tests are exercised by `cargo test`,
+//!    not replayed — hazards there cannot break artifacts);
+//! 3. collects `// detlint::allow(rule, reason = "...")` directives: a
+//!    trailing comment covers its own line, a comment-only line covers the
+//!    next code line;
+//! 4. matches rule token patterns; a match covered by a same-rule allow is
+//!    recorded as an audited [`AllowRecord`], anything else becomes a
+//!    [`Diagnostic`];
+//! 5. reports allows that suppressed nothing as `stale-allow` violations,
+//!    so suppressions can never outlive the hazard they audit.
+//!
+//! The walk visits directories in sorted order and emits findings in line
+//! order — output is deterministic by construction.
+
+use std::io;
+use std::path::Path;
+
+use crate::config::Config;
+use crate::diag::{AllowRecord, Diagnostic};
+use crate::lexer::{tokenize, Lexer, Token};
+use crate::rules::Rule;
+
+/// The result of scanning a tree.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Every `.rs` file scanned, relative to the root, sorted.
+    pub files: Vec<String>,
+    /// How many files sit in the deterministic tier.
+    pub deterministic_files: usize,
+    /// How many files are integer-only.
+    pub integer_only_files: usize,
+    /// All violations, in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// All **used** allows (the audited suppressions), in (file, line)
+    /// order.
+    pub allows: Vec<AllowRecord>,
+}
+
+/// Scans the workspace rooted at `root` under `cfg`.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.is_file() {
+            if inc.ends_with(".rs") && !cfg.is_excluded(inc) {
+                files.push(inc.clone());
+            }
+            continue;
+        }
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, cfg, &mut files)?;
+        }
+        // A missing include dir is tolerated: configs are shared between
+        // the workspace and fixture trees of different shapes.
+    }
+    files.sort();
+    files.dedup();
+
+    let mut analysis = Analysis {
+        files: files.clone(),
+        ..Analysis::default()
+    };
+    for rel in &files {
+        if cfg.is_deterministic(rel) {
+            analysis.deterministic_files += 1;
+        }
+        if cfg.is_integer_only(rel) {
+            analysis.integer_only_files += 1;
+        }
+        let text = std::fs::read_to_string(root.join(rel))?;
+        let (diags, allows) = scan_source(rel, &text, cfg);
+        analysis.diagnostics.extend(diags);
+        analysis.allows.extend(allows);
+    }
+    Ok(analysis)
+}
+
+/// Recursively collects `.rs` files under `dir`, in sorted order.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if cfg.is_excluded(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// One parsed allow directive, before use-tracking.
+#[derive(Clone, Debug)]
+struct PendingAllow {
+    rule: Rule,
+    reason: String,
+    /// 1-based line of the comment itself.
+    decl_line: usize,
+    /// 1-based line the allow covers.
+    covers_line: usize,
+    used: bool,
+}
+
+/// Scans one file's source text. Exposed for tests.
+pub fn scan_source(rel: &str, text: &str, cfg: &Config) -> (Vec<Diagnostic>, Vec<AllowRecord>) {
+    let deterministic = cfg.is_deterministic(rel);
+    let integer_only = cfg.is_integer_only(rel);
+    let mut active: Vec<Rule> = Vec::new();
+    for rule in Rule::PATTERN_RULES {
+        if !cfg.rule_enabled(rule) || cfg.is_exempt(rel, rule) {
+            continue;
+        }
+        let applies = match rule.applicability() {
+            crate::rules::Applicability::Deterministic => deterministic,
+            crate::rules::Applicability::IntegerOnly => integer_only,
+            crate::rules::Applicability::Meta => false,
+        };
+        if applies {
+            active.push(rule);
+        }
+    }
+
+    let mut lexer = Lexer::new();
+    let mut diagnostics = Vec::new();
+    let mut allows: Vec<PendingAllow> = Vec::new();
+    // (line, tokens, raw) for every non-test code line.
+    let mut code_lines: Vec<(usize, Vec<Token>, String)> = Vec::new();
+    // Allows from comment-only lines waiting for their next code line.
+    let mut carried: Vec<(Rule, String, usize)> = Vec::new();
+
+    let mut depth: usize = 0;
+    let mut skip_above: Option<usize> = None;
+    let mut cfg_test_pending = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = lexer.strip_line(raw);
+        let opens = line.code.matches('{').count();
+        let closes = line.code.matches('}').count();
+        let depth_before = depth;
+        depth = (depth + opens).saturating_sub(closes);
+
+        if let Some(limit) = skip_above {
+            // Inside a #[cfg(test)] block: skip everything (including
+            // allow parsing — test hazards cannot touch replay artifacts).
+            if depth <= limit {
+                skip_above = None;
+            }
+            continue;
+        }
+
+        let squished: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if squished.contains("#[cfg(test)]") {
+            if depth > depth_before {
+                // `#[cfg(test)] mod tests {` on one line.
+                skip_above = Some(depth_before);
+            } else {
+                cfg_test_pending = true;
+            }
+            continue;
+        }
+        if cfg_test_pending {
+            if depth > depth_before {
+                skip_above = Some(depth_before);
+                cfg_test_pending = false;
+            } else if opens > 0 {
+                // The cfg(test) item opened and closed on this line.
+                cfg_test_pending = false;
+            } else if squished.ends_with(';') {
+                // `mod tests;` — an out-of-line test module; nothing to
+                // skip here (the file itself is not scanned as test code).
+                cfg_test_pending = false;
+            }
+            continue;
+        }
+
+        let has_code = line.code.chars().any(|c| !c.is_whitespace());
+        if let Some(comment) = &line.comment {
+            match parse_allow(comment) {
+                Some(Ok((rule, reason))) => {
+                    if has_code {
+                        allows.push(PendingAllow {
+                            rule,
+                            reason,
+                            decl_line: lineno,
+                            covers_line: lineno,
+                            used: false,
+                        });
+                    } else {
+                        carried.push((rule, reason, lineno));
+                    }
+                }
+                Some(Err(())) => diagnostics.push(Diagnostic {
+                    rule: Rule::BadAllow,
+                    file: rel.to_string(),
+                    line: lineno,
+                    column: 1,
+                    snippet: raw.trim().to_string(),
+                }),
+                None => {}
+            }
+        }
+        if has_code {
+            for (rule, reason, decl_line) in carried.drain(..) {
+                allows.push(PendingAllow {
+                    rule,
+                    reason,
+                    decl_line,
+                    covers_line: lineno,
+                    used: false,
+                });
+            }
+            code_lines.push((lineno, tokenize(&line.code), raw.trim().to_string()));
+        }
+    }
+
+    // Match patterns against every retained code line.
+    for (lineno, tokens, raw) in &code_lines {
+        for &rule in &active {
+            for pattern in rule.patterns() {
+                for start in 0..tokens.len() {
+                    if tokens.len() - start < pattern.len() {
+                        break;
+                    }
+                    let matched = pattern
+                        .iter()
+                        .zip(&tokens[start..])
+                        .all(|(want, tok)| tok.text == *want);
+                    if !matched {
+                        continue;
+                    }
+                    let covered = allows
+                        .iter_mut()
+                        .find(|a| a.rule == rule && a.covers_line == *lineno);
+                    if let Some(allow) = covered {
+                        allow.used = true;
+                    } else {
+                        diagnostics.push(Diagnostic {
+                            rule,
+                            file: rel.to_string(),
+                            line: *lineno,
+                            column: tokens[start].col + 1,
+                            snippet: raw.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Leftover carried allows (end of file) and unused allows are stale.
+    for (_, _, decl_line) in carried {
+        diagnostics.push(Diagnostic {
+            rule: Rule::StaleAllow,
+            file: rel.to_string(),
+            line: decl_line,
+            column: 1,
+            snippet: line_snippet(text, decl_line),
+        });
+    }
+    let mut used = Vec::new();
+    for a in allows {
+        if a.used {
+            used.push(AllowRecord {
+                rule: a.rule,
+                file: rel.to_string(),
+                line: a.decl_line,
+                reason: a.reason,
+            });
+        } else if cfg.rule_enabled(Rule::StaleAllow) {
+            diagnostics.push(Diagnostic {
+                rule: Rule::StaleAllow,
+                file: rel.to_string(),
+                line: a.decl_line,
+                column: 1,
+                snippet: line_snippet(text, a.decl_line),
+            });
+        }
+    }
+    diagnostics.sort_by_key(|a| (a.line, a.column, a.rule));
+    // One finding per (line, rule): `use std::time::{Instant, SystemTime}`
+    // style lines would otherwise repeat the same message.
+    diagnostics.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    (diagnostics, used)
+}
+
+fn line_snippet(text: &str, lineno: usize) -> String {
+    text.lines()
+        .nth(lineno - 1)
+        .unwrap_or_default()
+        .trim()
+        .to_string()
+}
+
+/// Parses a `detlint::allow(rule, reason = "...")` directive out of a
+/// comment's text. Returns `None` if the comment is not a directive,
+/// `Some(Err(()))` if it is one but malformed.
+///
+/// A directive must be the *start* of its comment (`// detlint::allow(…)`)
+/// — prose that merely mentions the syntax, like this doc comment or a
+/// `//!` example, is never a directive (doc comments reach us with a
+/// leading `!`/`/`, which also disqualifies them).
+fn parse_allow(comment: &str) -> Option<Result<(Rule, String), ()>> {
+    let trimmed = comment.trim_start();
+    if !trimmed.starts_with("detlint::allow") {
+        return None;
+    }
+    let rest = trimmed["detlint::allow".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(Err(()));
+    };
+    let id_len = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+        .map_or(rest.len(), |(i, _)| i);
+    let Some(rule) = Rule::from_id(&rest[..id_len]) else {
+        return Some(Err(()));
+    };
+    let rest = rest[id_len..].trim_start();
+    let Some(rest) = rest.strip_prefix(',') else {
+        return Some(Err(())); // `reason` is mandatory: suppressions are audited.
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("reason") else {
+        return Some(Err(()));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('=') else {
+        return Some(Err(()));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Some(Err(()));
+    };
+    let Some(end) = rest.find('"') else {
+        return Some(Err(()));
+    };
+    let reason = rest[..end].trim().to_string();
+    if reason.is_empty() || !rest[end + 1..].trim_start().starts_with(')') {
+        return Some(Err(()));
+    }
+    Some(Ok((rule, reason)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_cfg() -> Config {
+        Config {
+            deterministic: vec!["det".to_string()],
+            integer_only: vec!["det/counters.rs".to_string()],
+            ..Default::default()
+        }
+    }
+
+    fn diags(rel: &str, src: &str) -> Vec<(Rule, usize, usize)> {
+        let (d, _) = scan_source(rel, src, &det_cfg());
+        d.into_iter().map(|d| (d.rule, d.line, d.column)).collect()
+    }
+
+    #[test]
+    fn hazards_fire_only_in_tier() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(diags("det/a.rs", src), [(Rule::UnorderedCollection, 1, 23)]);
+        assert_eq!(diags("other/a.rs", src), []);
+    }
+
+    #[test]
+    fn comments_strings_and_tests_do_not_fire() {
+        let src = "\
+// HashMap in a comment\n\
+/* Instant::now() */\n\
+fn f() { let s = \"SystemTime\"; }\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    use std::collections::HashSet;\n\
+}\n";
+        assert_eq!(diags("det/a.rs", src), []);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_and_is_counted() {
+        let src = "use std::collections::HashMap; \
+                   // detlint::allow(unordered-collection, reason = \"lookup only\")\n";
+        let (d, a) = scan_source("det/a.rs", src, &det_cfg());
+        assert!(d.is_empty());
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].rule, Rule::UnorderedCollection);
+        assert_eq!(a[0].reason, "lookup only");
+    }
+
+    #[test]
+    fn preceding_line_allow_covers_next_code_line() {
+        let src = "// detlint::allow(wall-clock, reason = \"sanctioned re-export\")\n\
+                   pub use wallclock::Stopwatch;\n";
+        let (d, a) = scan_source("det/a.rs", src, &det_cfg());
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].line, 1);
+    }
+
+    #[test]
+    fn unused_allow_is_stale() {
+        let src = "// detlint::allow(wall-clock, reason = \"nothing here\")\n\
+                   fn fine() {}\n";
+        assert_eq!(diags("det/a.rs", src), [(Rule::StaleAllow, 1, 1)]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad() {
+        let src = "fn f() {} // detlint::allow(env-read)\n";
+        assert_eq!(diags("det/a.rs", src), [(Rule::BadAllow, 1, 1)]);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "use std::collections::HashMap; \
+                   // detlint::allow(wall-clock, reason = \"wrong rule\")\n";
+        let got = diags("det/a.rs", src);
+        assert!(got.contains(&(Rule::UnorderedCollection, 1, 23)), "{got:?}");
+        assert!(got.contains(&(Rule::StaleAllow, 1, 1)), "{got:?}");
+    }
+
+    #[test]
+    fn float_accum_only_in_integer_only_files() {
+        let src = "pub fn mean(sum: u64, n: u64) -> f64 { sum as f64 / n as f64 }\n";
+        assert_eq!(diags("det/a.rs", src), []);
+        // Three `f64` tokens on the line collapse to one finding.
+        assert_eq!(diags("det/counters.rs", src), [(Rule::FloatAccum, 1, 34)]);
+    }
+
+    #[test]
+    fn multi_token_paths_match() {
+        let src = "fn go() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(diags("det/a.rs", src), [(Rule::ThreadSpawn, 1, 16)]);
+        let src2 = "fn go() { std::env::var(\"HOME\").ok(); }\n";
+        assert_eq!(diags("det/a.rs", src2), [(Rule::EnvRead, 1, 16)]);
+    }
+
+    #[test]
+    fn identifier_boundaries_are_respected() {
+        assert_eq!(diags("det/a.rs", "let my_thread = a_thread::spawned();\n"), []);
+        assert_eq!(diags("det/a.rs", "let hashmaplike = 1;\n"), []);
+    }
+}

@@ -1,0 +1,177 @@
+//! Integration tests for `bgpscale-detlint`: every rule fires at the
+//! expected span over the seeded fixtures, the clean fixture produces
+//! zero findings, and — the gate that matters — the real workspace scans
+//! clean under the checked-in `detlint.toml`. That last test makes
+//! `cargo test -p bgpscale-detlint` a determinism gate in itself, not
+//! just a linter unit-test suite.
+
+use std::path::{Path, PathBuf};
+
+use bgpscale_detlint::config::Config;
+use bgpscale_detlint::rules::Rule;
+use bgpscale_detlint::scan::scan_workspace;
+use bgpscale_detlint::{diag, fixtures};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn fixture_analysis() -> bgpscale_detlint::Analysis {
+    let root = fixtures_root();
+    let cfg = Config::load(&root.join("detlint.toml")).expect("fixture config");
+    scan_workspace(&root, &cfg).expect("fixture scan")
+}
+
+/// `(file, line, rule)` triples of the analysis, for span assertions.
+fn findings(a: &bgpscale_detlint::Analysis) -> Vec<(String, usize, Rule)> {
+    a.diagnostics
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn fixture_self_test_passes() {
+    let report = fixtures::run(&fixtures_root()).expect("fixtures run");
+    assert!(
+        report.ok(),
+        "fixture self-test failed:\n{}",
+        fixtures::render(&report)
+    );
+    assert!(report.checked >= 9, "expected all fixture files scanned");
+}
+
+#[test]
+fn every_rule_fires_somewhere_in_the_bad_fixtures() {
+    let a = fixture_analysis();
+    for rule in Rule::ALL {
+        assert!(
+            a.diagnostics.iter().any(|d| d.rule == rule),
+            "rule {rule} fired nowhere in the bad fixtures"
+        );
+    }
+}
+
+#[test]
+fn rules_fire_with_exact_spans() {
+    let a = fixture_analysis();
+    let got = findings(&a);
+    // Spot-check precise (file, line) anchors, one per rule family.
+    for (file, line, rule) in [
+        ("bad/hashmap_iter.rs", 8, Rule::UnorderedCollection),
+        ("bad/instant_now.rs", 6, Rule::WallClock),
+        ("bad/system_time.rs", 6, Rule::WallClock),
+        ("bad/thread_spawn.rs", 6, Rule::ThreadSpawn),
+        ("bad/unseeded_random.rs", 7, Rule::UnseededRandom),
+        ("bad/env_read.rs", 6, Rule::EnvRead),
+        ("bad/float_accum.rs", 8, Rule::FloatAccum),
+        ("bad/stale_allow.rs", 5, Rule::StaleAllow),
+        ("bad/stale_allow.rs", 10, Rule::BadAllow),
+    ] {
+        assert!(
+            got.contains(&(file.to_string(), line, rule)),
+            "expected [{rule}] at {file}:{line}; got {got:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_has_zero_findings_and_a_counted_allow() {
+    let a = fixture_analysis();
+    let clean: Vec<_> = a
+        .diagnostics
+        .iter()
+        .filter(|d| d.file.starts_with("clean/"))
+        .collect();
+    assert!(clean.is_empty(), "false positives in clean fixture: {clean:?}");
+    let audited: Vec<_> = a.allows.iter().filter(|al| al.file.starts_with("clean/")).collect();
+    assert_eq!(audited.len(), 1, "the clean fixture's allow must be counted");
+    assert_eq!(audited[0].rule, Rule::WallClock);
+    assert!(audited[0].reason.contains("profiling"));
+}
+
+#[test]
+fn json_report_is_renderable_and_lists_rules() {
+    let a = fixture_analysis();
+    let json = diag::render_json(&a);
+    assert!(json.contains("\"violations\": ["));
+    assert!(json.contains("\"rule\": \"unordered-collection\""));
+    assert!(json.contains("\"ok\": false"));
+    // Escaping: every quote inside snippets must be escaped — a quick
+    // structural sanity check is that the quote count is even.
+    assert_eq!(json.matches('"').count() % 2, 0);
+    let human = diag::render_human(&a, false);
+    assert!(human.contains("detlint: FAIL"));
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("detlint.toml")).expect("workspace detlint.toml");
+    let a = scan_workspace(&root, &cfg).expect("workspace scan");
+    assert!(
+        !a.files.is_empty() && a.deterministic_files > 10,
+        "scan looks hollow: {} files, {} deterministic — check detlint.toml paths",
+        a.files.len(),
+        a.deterministic_files
+    );
+    let rendered: Vec<String> = a.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        a.diagnostics.is_empty(),
+        "the workspace must scan clean (fix the hazard or add an audited \
+         detlint::allow):\n{}",
+        rendered.join("\n")
+    );
+    // The audited allows are a curated list — additions should be
+    // deliberate, so keep a visible floor and ceiling on their count.
+    assert!(
+        !a.allows.is_empty() && a.allows.len() < 32,
+        "unexpected audited-allow count: {}",
+        a.allows.len()
+    );
+}
+
+#[test]
+fn workspace_scan_is_deterministic() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("detlint.toml")).expect("workspace detlint.toml");
+    let a = scan_workspace(&root, &cfg).expect("scan 1");
+    let b = scan_workspace(&root, &cfg).expect("scan 2");
+    assert_eq!(diag::render_json(&a), diag::render_json(&b));
+}
+
+#[test]
+fn seeded_violation_is_caught_end_to_end() {
+    // The same check CI's "seeded violation" gate performs, but over a
+    // synthetic tree in the temp dir so it cannot race the
+    // `workspace_is_clean` scan of the real repository.
+    let root = std::env::temp_dir().join(format!("detlint-seeded-{}", std::process::id()));
+    let src: &Path = &root.join("src");
+    std::fs::create_dir_all(src).expect("create temp tree");
+    std::fs::write(
+        root.join("detlint.toml"),
+        "[scan]\ninclude = [\"src\"]\n[deterministic]\npaths = [\"src\"]\n",
+    )
+    .expect("write config");
+    std::fs::write(
+        src.join("bad.rs"),
+        "pub fn bad() -> u64 { std::time::Instant::now().elapsed().as_secs() }\n",
+    )
+    .expect("write seeded violation");
+    let cfg = Config::load(&root.join("detlint.toml")).expect("temp config");
+    let a = scan_workspace(&root, &cfg);
+    std::fs::remove_dir_all(&root).expect("remove temp tree");
+    let a = a.expect("scan with seeded violation");
+    assert_eq!(
+        findings(&a),
+        [("src/bad.rs".to_string(), 1, Rule::WallClock)],
+        "seeded Instant::now was not caught exactly once"
+    );
+}

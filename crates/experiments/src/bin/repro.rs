@@ -64,14 +64,21 @@
 //!
 //! Set BGPSCALE_LOG=quiet|info|debug to control progress chatter on
 //! stderr (default info).
+//!
+//! exit codes (shared with `detlint --check`):
+//!   0  success — targets ran and all requested checks passed
+//!   1  a run or a `--check` validation failed
+//!   2  usage / configuration error (unknown target or malformed option)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
-use std::time::Instant;
 
 use bgpscale_experiments::{figures, htmlreport, profile};
 use bgpscale_experiments::{Figure, RunConfig, Sweeper};
 use bgpscale_obs::{log, TraceRecord, TraceWriter};
+use bgpscale_simkernel::Stopwatch;
 use bgpscale_topology::GrowthScenario;
 
 fn usage() -> ! {
@@ -81,7 +88,9 @@ fn usage() -> ! {
          [--jobs N] [--bench-jobs a,b,c] [--out FILE] \
          [--metrics-out FILE] [--trace-out FILE] [--trace-sample N] \
          [--scenario S] [--cell-n N] [--event-limit N] [--bin-us N] \
-         [--report-out FILE] [--timeseries-out FILE] [--check]"
+         [--report-out FILE] [--timeseries-out FILE] [--check]\n\
+         exit codes: 0 = ok, 1 = failed run or --check, 2 = usage error \
+         (same convention as detlint --check)"
     );
     std::process::exit(2);
 }
@@ -396,9 +405,9 @@ fn git_rev() -> String {
 fn best_of_3(mut f: impl FnMut()) -> f64 {
     (0..3)
         .map(|_| {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             f();
-            t.elapsed().as_secs_f64()
+            t.elapsed_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
 }
@@ -445,14 +454,14 @@ fn run_bench(
         let effective = sw.jobs();
         log!(Info, "bench: sweeping Baseline with jobs={requested} (effective {effective}) …");
         let mut cells = Vec::new();
-        let total_started = Instant::now();
+        let total_started = Stopwatch::start();
         for &n in &cfg.sizes.clone() {
-            let cell_started = Instant::now();
+            let cell_started = Stopwatch::start();
             let report = sw.report(GrowthScenario::Baseline, n, bgpscale_bgp::MraiMode::NoWrate);
-            let wall_s = cell_started.elapsed().as_secs_f64();
+            let wall_s = cell_started.elapsed_secs_f64();
             cells.push((n, wall_s, cfg.events as f64 / wall_s, report));
         }
-        let total_s = total_started.elapsed().as_secs_f64();
+        let total_s = total_started.elapsed_secs_f64();
         log!(Info, "bench: jobs={requested} finished in {total_s:.2}s");
         match &baseline_reports {
             None => {
@@ -567,7 +576,7 @@ fn main() {
             }
         }
     }
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut sw = Sweeper::new(opts.cfg.clone());
     sw.set_jobs(opts.jobs);
     if opts.metrics_out.is_some() || opts.trace_out.is_some() {
@@ -578,7 +587,7 @@ fn main() {
         log!(
             Info,
             "[{:7.1}s] running {scenario} n={n} {} …",
-            started.elapsed().as_secs_f64(),
+            started.elapsed_secs_f64(),
             mode.label()
         );
     });

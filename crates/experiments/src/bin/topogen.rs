@@ -20,6 +20,8 @@
 //!   ccdf     CSV: degree,fraction_ge (log-log plottable)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use bgpscale_topology::metrics::{
     degree_assortativity, degree_ccdf, TopologySummary,
 };

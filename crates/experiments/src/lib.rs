@@ -37,6 +37,8 @@
 //! topology instances, different tie-breaking hashes); the claims are the
 //! reproduction criteria.
 
+#![forbid(unsafe_code)]
+
 pub mod churn_trace;
 pub mod figures;
 pub mod htmlreport;

@@ -18,7 +18,7 @@
 //! thread-safe; workers communicate results only through the ordered
 //! return of the pool.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, MraiMode};
@@ -84,7 +84,7 @@ impl RunConfig {
 /// worker threads; `Arc` because several workers may hold it at once.
 type ProgressFn = Arc<dyn Fn(GrowthScenario, usize, MraiMode) + Send + Sync>;
 
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct CellKey {
     scenario: GrowthScenario,
     n: usize,
@@ -125,7 +125,7 @@ pub struct CellSeries {
 /// Memoizing experiment runner shared by all figure drivers.
 pub struct Sweeper {
     cfg: RunConfig,
-    cache: HashMap<CellKey, Arc<ChurnReport>>,
+    cache: BTreeMap<CellKey, Arc<ChurnReport>>,
     /// Observer called before each uncached cell runs (progress logging).
     progress: Option<ProgressFn>,
     /// Worker budget per sweep call; 1 = fully sequential.
@@ -149,7 +149,7 @@ impl Sweeper {
     pub fn new(cfg: RunConfig) -> Sweeper {
         Sweeper {
             cfg,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             progress: None,
             jobs: 1,
             telemetry: Telemetry::default(),

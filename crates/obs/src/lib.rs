@@ -35,6 +35,8 @@
 //! assert!(registry.to_json().contains("\"events.deliver\": 1"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod logging;
 pub mod metrics;
 pub mod observer;

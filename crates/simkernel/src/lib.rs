@@ -31,14 +31,16 @@
 //! assert_eq!(t, SimTime::from_micros(10_000));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
-pub mod wallclock;
+pub mod wallclock; // detlint::allow(wall-clock, reason = "declares the one sanctioned wall-clock module; the module itself is exempt in detlint.toml")
 
 pub use pool::{effective_jobs, run_indexed};
 pub use queue::EventQueue;
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
 pub use time::{SimDuration, SimTime};
-pub use wallclock::Stopwatch;
+pub use wallclock::Stopwatch; // detlint::allow(wall-clock, reason = "re-export of the sanctioned Stopwatch so callers need no extra path")

@@ -19,6 +19,10 @@
 //!   sequential loop — the exact same code path a single worker would take,
 //!   with no thread machinery at all.
 
+// The one sanctioned home for thread spawning (mirrored by clippy.toml's
+// disallowed-methods and detlint's thread-spawn exemption).
+#![allow(clippy::disallowed_methods)]
+
 #[cfg(feature = "parallel")]
 use std::sync::atomic::{AtomicUsize, Ordering};
 #[cfg(feature = "parallel")]

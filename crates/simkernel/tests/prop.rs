@@ -113,7 +113,7 @@ proptest! {
     /// any window of 10k consecutive integers we test).
     #[test]
     fn hash64_no_adjacent_collisions(base in 0u64..u64::MAX - 10_000) {
-        let mut seen = std::collections::HashSet::with_capacity(1_000);
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..1_000 {
             prop_assert!(seen.insert(hash64(base + i)), "collision at offset {i}");
         }

@@ -14,6 +14,8 @@
 //! * [`powerlaw`] — discrete power-law exponent fitting (Clauset-style
 //!   MLE), used to check the generator's degree distributions.
 
+#![forbid(unsafe_code)]
+
 pub mod descriptive;
 pub mod dist;
 pub mod mann_kendall;

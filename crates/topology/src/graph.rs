@@ -541,7 +541,7 @@ mod tests {
         let edges = g.edge_list();
         // One entry per physical link, no duplicates in either direction.
         assert_eq!(edges.len(), g.link_count());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(a, b, rel) in &edges {
             assert_ne!(rel, Relationship::Customer, "must list from customer side");
             assert!(seen.insert((a.min(b), a.max(b))), "duplicate link {a}-{b}");

@@ -39,6 +39,8 @@
 //! validate(&graph).expect("all structural invariants hold");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod generator;
 pub mod graph;
 pub mod metrics;

@@ -35,7 +35,7 @@ use crate::params::TopologyParams;
 const STATIC_MIDDLE_FREEZE_N: usize = 1_000;
 
 /// One of the paper's topology growth models.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum GrowthScenario {
     /// The Baseline model of Table 1, resembling the Internet's growth over
     /// the decade before the paper.

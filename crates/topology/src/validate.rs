@@ -5,7 +5,7 @@
 //! simulation runs (a corrupted topology would silently skew churn
 //! numbers).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::graph::AsGraph;
@@ -78,7 +78,7 @@ pub fn validate(g: &AsGraph) -> Result<(), Vec<Violation>> {
 
 fn check_adjacency_consistency(g: &AsGraph, out: &mut Vec<Violation>) {
     for id in g.node_ids() {
-        let mut seen: HashSet<AsId> = HashSet::with_capacity(g.degree(id));
+        let mut seen: BTreeSet<AsId> = BTreeSet::new();
         for n in g.neighbors(id) {
             if !seen.insert(n.id) {
                 out.push(Violation {

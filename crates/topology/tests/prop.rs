@@ -72,7 +72,7 @@ proptest! {
             .into_iter()
             .max_by_key(|&t| g.degree(t))
             .unwrap();
-        let tree: std::collections::HashSet<AsId> =
+        let tree: std::collections::BTreeSet<AsId> =
             g.customer_tree(root).into_iter().collect();
         for id in g.node_ids() {
             prop_assert_eq!(

@@ -55,6 +55,8 @@
 //! `EXPERIMENTS.md` for the system inventory and the paper-vs-measured
 //! record.
 
+#![forbid(unsafe_code)]
+
 pub use bgpscale_bgp as bgp;
 pub use bgpscale_core as core;
 pub use bgpscale_experiments as experiments;
