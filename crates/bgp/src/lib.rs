@@ -42,4 +42,4 @@ pub mod rfd;
 pub use bgpscale_obs::{Provenance, RootCauseKind};
 pub use config::{BgpConfig, MraiMode, MraiScope, ServiceTimeModel};
 pub use message::{AsPath, Prefix, Update, UpdateKind};
-pub use node::BgpNode;
+pub use node::{BgpNode, NodeCostCounters};

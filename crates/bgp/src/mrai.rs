@@ -71,6 +71,13 @@ pub struct OutQueue {
     /// Adj-RIB-out: the path last actually sent, per prefix. Absent means
     /// the neighbor holds no route from us (withdrawn or never announced).
     sent: BTreeMap<Prefix, AsPath>,
+    /// Cost-model tally: Adj-RIB-out mutations (inserts plus successful
+    /// removes). Monotone over the queue's lifetime — survives resets so
+    /// phase-boundary snapshots can be diffed (see `obs::costmodel`).
+    rib_out_writes: u64,
+    /// Cost-model tally: pending updates displaced by a newer update for
+    /// the same prefix while a timer was running (MRAI coalescing).
+    coalesced: u64,
 }
 
 impl Default for OutQueue {
@@ -93,7 +100,19 @@ impl OutQueue {
             armed_prefixes: BTreeSet::new(),
             pending: BTreeMap::new(),
             sent: BTreeMap::new(),
+            rib_out_writes: 0,
+            coalesced: 0,
         }
+    }
+
+    /// Cost-model tally: Adj-RIB-out mutations so far (monotone).
+    pub fn rib_out_writes(&self) -> u64 {
+        self.rib_out_writes
+    }
+
+    /// Cost-model tally: MRAI-coalesced pending updates so far (monotone).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
     }
 
     /// The timer granularity of this queue.
@@ -163,6 +182,7 @@ impl OutQueue {
         let mut stamp = cause.clone();
         if let Some((_, displaced)) = self.pending.get(&prefix) {
             stamp.coalesce_with(displaced);
+            self.coalesced += 1;
         }
         self.pending.insert(prefix, (kind, stamp));
     }
@@ -201,6 +221,7 @@ impl OutQueue {
                 // RFC 1771: withdrawals are never rate-limited and do not
                 // arm the timer.
                 self.sent.remove(&prefix);
+                self.rib_out_writes += 1;
                 Submit::SendNow {
                     update: Update::withdraw(prefix).stamped(cause.clone()),
                     arm_timer: false,
@@ -212,6 +233,7 @@ impl OutQueue {
                     Submit::Queued
                 } else {
                     self.sent.remove(&prefix);
+                    self.rib_out_writes += 1;
                     self.set_armed(prefix);
                     Submit::SendNow {
                         update: Update::withdraw(prefix).stamped(cause.clone()),
@@ -232,6 +254,7 @@ impl OutQueue {
                 "pending update with an idle timer"
             );
             self.sent.insert(prefix, path.clone());
+            self.rib_out_writes += 1;
             self.set_armed(prefix);
             Submit::SendNow {
                 update: Update::announce(prefix, path).stamped(cause.clone()),
@@ -301,12 +324,16 @@ impl OutQueue {
                     return None; // neighbor already has it
                 }
                 self.sent.insert(prefix, path.clone());
+                self.rib_out_writes += 1;
                 Some(Update::announce(prefix, path).stamped(stamp))
             }
-            UpdateKind::Withdraw => self
-                .sent
-                .remove(&prefix)
-                .map(|_| Update::withdraw(prefix).stamped(stamp)),
+            UpdateKind::Withdraw => {
+                let removed = self.sent.remove(&prefix);
+                if removed.is_some() {
+                    self.rib_out_writes += 1;
+                }
+                removed.map(|_| Update::withdraw(prefix).stamped(stamp))
+            }
         }
     }
 
@@ -341,6 +368,7 @@ impl OutQueue {
             return None;
         }
         self.sent.insert(prefix, path.clone());
+        self.rib_out_writes += 1;
         Some(Update::announce(prefix, path).stamped(cause.clone()))
     }
 
@@ -665,6 +693,26 @@ mod tests {
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].provenance.roots(), &[2, 3], "displaced root kept");
         assert_eq!(sent[0].provenance.depth(), 1, "newest intent's depth");
+    }
+
+    #[test]
+    fn cost_counters_tally_rib_writes_and_coalescing() {
+        let mut q = OutQueue::new();
+        q.submit(P, Some(path(&[1])), MraiMode::NoWrate, &none()); // sends: 1 write
+        q.submit(P, Some(path(&[2])), MraiMode::NoWrate, &none()); // queues
+        q.submit(P, Some(path(&[3])), MraiMode::NoWrate, &none()); // displaces: coalesce
+        assert_eq!(q.rib_out_writes(), 1);
+        assert_eq!(q.coalesced(), 1);
+        let (sent, _) = q.flush(None); // emits the announce: 1 more write
+        assert_eq!(sent.len(), 1);
+        assert_eq!(q.rib_out_writes(), 2);
+        // A withdrawal that reaches the wire is a write too.
+        q.submit(P, None, MraiMode::NoWrate, &none());
+        assert_eq!(q.rib_out_writes(), 3);
+        // Counters are monotone across a forced reset.
+        q.force_reset();
+        assert_eq!(q.rib_out_writes(), 3);
+        assert_eq!(q.coalesced(), 1);
     }
 
     #[test]

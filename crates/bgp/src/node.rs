@@ -146,6 +146,31 @@ pub struct BgpNode {
     /// Damping state per (slot, prefix); entries exist only for routes
     /// with flap history.
     damp: BTreeMap<(u32, Prefix), DampState>,
+    /// Cost-model tallies (see [`NodeCostCounters`]); monotone over the
+    /// node's lifetime, surviving [`BgpNode::reset_routing`] so
+    /// phase-boundary snapshots can be diffed.
+    costs: NodeCostCounters,
+}
+
+/// Monotone operation tallies for one BGP speaker, feeding the
+/// workspace-wide deterministic cost model (`obs::costmodel`). Decision
+/// and path-handling counts live on the node; Adj-RIB-out and MRAI
+/// coalescing counts are summed over the per-session output queues by
+/// [`BgpNode::cost_counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCostCounters {
+    /// Decision-process runs (one per `reevaluate` of a prefix).
+    pub decision_runs: u64,
+    /// Candidate-route preference comparisons inside the decision process.
+    pub route_comparisons: u64,
+    /// AS-path reuses by refcount bump (`clone` of a built export path).
+    pub path_intern_hits: u64,
+    /// Fresh AS-path allocations (`prepended` builds a new array).
+    pub path_intern_misses: u64,
+    /// Adj-RIB-out mutations across all output queues.
+    pub rib_out_writes: u64,
+    /// MRAI-coalesced pending updates across all output queues.
+    pub mrai_coalesced: u64,
 }
 
 impl BgpNode {
@@ -173,7 +198,20 @@ impl BgpNode {
             active,
             rfd: None,
             damp: BTreeMap::new(),
+            costs: NodeCostCounters::default(),
         }
+    }
+
+    /// Cost-model tallies for this speaker: the node's own decision/path
+    /// counters plus the Adj-RIB-out and coalescing counts summed over its
+    /// output queues. Monotone — never reset by routing-state clears.
+    pub fn cost_counters(&self) -> NodeCostCounters {
+        let mut c = self.costs;
+        for q in &self.out {
+            c.rib_out_writes += q.rib_out_writes();
+            c.mrai_coalesced += q.coalesced();
+        }
+        c
     }
 
     /// Enables Route Flap Damping with the given parameters, or disables
@@ -499,6 +537,7 @@ impl BgpNode {
                 continue;
             }
             let export_path = AsPath::prepended(self.id, &path);
+            self.costs.path_intern_misses += 1;
             // The initial table exchange is not rate-limited; MRAI governs
             // subsequent updates only.
             if let Some(update) = self.out[slot as usize].send_unlimited(prefix, export_path, &stamp)
@@ -575,6 +614,7 @@ impl BgpNode {
     /// edge's Gao–Rexford relation, so attribution survives MRAI
     /// coalescing downstream.
     fn reevaluate(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
+        self.costs.decision_runs += 1;
         let st = self.prefixes.get_mut(&prefix).expect("state exists");
 
         // Decision process.
@@ -608,6 +648,7 @@ impl BgpNode {
                             rel: self.sessions[wslot as usize].rel,
                             path: wpath.as_slice(),
                         };
+                        self.costs.route_comparisons += 1;
                         preference_key(&cand) > preference_key(&wcand)
                     }
                 };
@@ -655,6 +696,7 @@ impl BgpNode {
                 // The exported path: ourselves prepended to the best path.
                 // Built once; every queue below shares it by refcount.
                 let export_path = AsPath::prepended(self.id, &best.path);
+                self.costs.path_intern_misses += 1;
                 for slot in 0..self.sessions.len() as u32 {
                     if !self.active[slot as usize] {
                         continue;
@@ -667,6 +709,7 @@ impl BgpNode {
                     let intent = if export_allowed(source, session.rel)
                         && !(self.sender_loop_check && would_loop(&best.path, session.peer))
                     {
+                        self.costs.path_intern_hits += 1;
                         Some(export_path.clone())
                     } else {
                         None
@@ -1103,6 +1146,31 @@ mod tests {
             n.handle_update_at(AsId(1), Update::withdraw(P), SimTime::ZERO);
         }
         assert!(!n.is_suppressed(0, P));
+    }
+
+    #[test]
+    fn cost_counters_attribute_decision_and_path_work() {
+        let mut n = node();
+        let before = n.cost_counters();
+        assert_eq!(before, NodeCostCounters::default());
+        // One update → one decision run, a fresh export path, and a
+        // refcount hit per session it is exported to (peer + provider).
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        let c = n.cost_counters();
+        assert_eq!(c.decision_runs, 1);
+        assert_eq!(c.path_intern_misses, 1);
+        assert_eq!(c.path_intern_hits, 2);
+        assert_eq!(c.rib_out_writes, 2, "announced to peer and provider");
+        // A competing provider route triggers exactly one comparison.
+        n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
+        let c2 = n.cost_counters();
+        assert_eq!(c2.decision_runs, 2);
+        assert_eq!(c2.route_comparisons, 1);
+        // Counters survive a routing reset (monotone).
+        n.mrai_expired(1);
+        n.mrai_expired(2);
+        n.reset_routing();
+        assert_eq!(n.cost_counters().decision_runs, 2);
     }
 
     #[test]

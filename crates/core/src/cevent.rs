@@ -16,6 +16,7 @@
 //! can chain further phases or reset.
 
 use bgpscale_bgp::Prefix;
+use bgpscale_obs::costmodel::{OpCounts, PhaseCosts, PHASES};
 use bgpscale_simkernel::SimDuration;
 use bgpscale_topology::AsId;
 
@@ -34,6 +35,10 @@ pub struct CEventOutcome {
     /// Simulated time from the re-announcement until the last routing
     /// activity of the UP phase.
     pub up_convergence: SimDuration,
+    /// Exact operation counts attributed to each phase (warm-up, DOWN,
+    /// UP), diffed from the simulator's monotone cost tallies at the
+    /// phase boundaries. Integer-only and deterministic.
+    pub phase_costs: PhaseCosts,
 }
 
 /// Runs one full C-event from `origin` for `prefix`. On return the
@@ -47,10 +52,13 @@ pub fn run_c_event<O: bgpscale_obs::SimObserver>(
     origin: AsId,
     prefix: Prefix,
 ) -> Result<CEventOutcome, EventBudgetExceeded> {
+    let cost_base = sim.cost_counts();
+
     // Phase 0: warm-up announcement, uncounted.
     sim.churn_mut().set_enabled(false);
     sim.originate(origin, prefix);
     sim.run_to_quiescence()?;
+    let cost_warm = sim.cost_counts();
 
     sim.churn_mut().reset();
     sim.churn_mut().set_enabled(true);
@@ -59,18 +67,26 @@ pub fn run_c_event<O: bgpscale_obs::SimObserver>(
     let down_start = sim.now();
     sim.withdraw(origin, prefix);
     let down_end = sim.run_to_quiescence()?;
+    let cost_down = sim.cost_counts();
 
     // Phase 2: UP.
     let up_start = sim.now();
     sim.originate(origin, prefix);
     let up_end = sim.run_to_quiescence()?;
+    let cost_up = sim.cost_counts();
 
     sim.churn_mut().set_enabled(false);
+    let phase_costs: [OpCounts; PHASES] = [
+        cost_warm.since(&cost_base),
+        cost_down.since(&cost_warm),
+        cost_up.since(&cost_down),
+    ];
     Ok(CEventOutcome {
         total_updates: sim.churn().total(),
         withdrawals: sim.churn().withdrawals(),
         down_convergence: down_end.saturating_since(down_start),
         up_convergence: up_end.saturating_since(up_start),
+        phase_costs,
     })
 }
 
@@ -122,6 +138,29 @@ mod tests {
         // time (withdrawals propagate at processing speed).
         assert!(o.down_convergence < SimDuration::from_secs(60));
         assert!(o.up_convergence < SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn phase_costs_attribute_work_to_all_three_phases() {
+        let (mut sim, origin) = baseline_sim(150, 5);
+        let before = sim.cost_counts();
+        let o = run_c_event(&mut sim, origin, Prefix(0)).unwrap();
+        // Every phase does real work.
+        for (i, phase) in o.phase_costs.iter().enumerate() {
+            assert!(phase.deliveries > 0, "phase {i} delivered nothing");
+            assert!(phase.decision_runs > 0, "phase {i} ran no decisions");
+        }
+        // The phases partition exactly the work done during the event.
+        let mut sum = OpCounts::default();
+        for phase in &o.phase_costs {
+            sum.add(phase);
+        }
+        assert_eq!(sum, sim.cost_counts().since(&before));
+        // DOWN+UP deliveries equal the churn counter's total.
+        assert_eq!(
+            o.phase_costs[1].deliveries + o.phase_costs[2].deliveries,
+            o.total_updates
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, Prefix};
+use bgpscale_obs::costmodel::{CostModel, PhaseCosts};
 use bgpscale_obs::{
     MetricsRegistry, Recorder, RecorderOptions, SimObserver, TimeSeries, TimeSeriesSpec,
     TraceRecord,
@@ -122,6 +123,9 @@ struct EventMeasurement {
     total_updates: f64,
     down_s: f64,
     up_s: f64,
+    /// Exact per-phase op counts of this event — integer-only, merged
+    /// into the [`CostModel`] in event-index order.
+    phase_costs: PhaseCosts,
 }
 
 /// Runs C-event `k` from `origin` on a fresh simulator stamped from the
@@ -192,6 +196,7 @@ fn measure_event_observed<O: SimObserver>(
         total_updates: outcome.total_updates as f64,
         down_s: outcome.down_convergence.as_secs_f64(),
         up_s: outcome.up_convergence.as_secs_f64(),
+        phase_costs: outcome.phase_costs,
     };
     (m, sim.into_observer())
 }
@@ -237,6 +242,38 @@ pub fn run_experiment_jobs(cfg: &ExperimentConfig, jobs: usize) -> ChurnReport {
     fold_measurements(cfg, &setup, &measurements)
 }
 
+/// [`run_experiment_jobs`] plus the per-event [`CostModel`]: exact
+/// operation counts attributed to each C-event's warm-up/DOWN/UP phases.
+///
+/// The counts are integer-only and computed per event on a fresh
+/// simulator, then pushed into the model **in event-index order**, so
+/// `CostModel::to_json()` is byte-identical for every `jobs` value —
+/// the same contract the churn report and the telemetry artifacts obey.
+///
+/// # Panics
+/// As [`run_experiment`].
+pub fn run_experiment_with_cost(cfg: &ExperimentConfig, jobs: usize) -> (ChurnReport, CostModel) {
+    let setup = ExperimentSetup::build(cfg);
+    let measurements: Vec<EventMeasurement> = {
+        let _span = bgpscale_obs::span!("run_events");
+        run_indexed(jobs, setup.c_nodes.len(), |k| {
+            measure_event(
+                cfg,
+                &setup.template,
+                &setup.node_types,
+                setup.c_nodes[k],
+                k,
+                setup.sim_seed,
+            )
+        })
+    };
+    let mut cost = CostModel::new();
+    for m in &measurements {
+        cost.push_event(m.phase_costs);
+    }
+    (fold_measurements(cfg, &setup, &measurements), cost)
+}
+
 /// What telemetry [`run_experiment_observed_with`] should collect beyond
 /// the always-on metric counters.
 #[derive(Clone, Debug, Default)]
@@ -264,6 +301,9 @@ pub struct ObservedReport {
     /// the interval `[i·bin_us, (i+1)·bin_us)` of *every* C-event: counts
     /// add, peaks take the max.
     pub timeseries: Option<TimeSeries>,
+    /// Per-event, per-phase exact operation counts, pushed in event-index
+    /// order (always collected — the counters are free-running integers).
+    pub cost: CostModel,
 }
 
 /// Runs the experiment with a [`Recorder`] attached to every C-event's
@@ -335,6 +375,7 @@ pub fn run_experiment_observed_with(
     let mut metrics = MetricsRegistry::new();
     let mut trace = Vec::new();
     let mut timeseries: Option<TimeSeries> = None;
+    let mut cost = CostModel::new();
     let mut measurements = Vec::with_capacity(observed.len());
     for (m, recorder) in observed {
         metrics.merge(&recorder.registry());
@@ -346,6 +387,7 @@ pub fn run_experiment_observed_with(
                 Some(total) => total.merge(&ts),
             }
         }
+        cost.push_event(m.phase_costs);
         measurements.push(m);
     }
     metrics.inc("experiment.events", measurements.len() as u64);
@@ -355,6 +397,7 @@ pub fn run_experiment_observed_with(
         metrics,
         trace,
         timeseries,
+        cost,
     }
 }
 
@@ -605,6 +648,39 @@ mod tests {
             );
             assert_eq!(base.report, other.report, "report diverged at jobs={jobs}");
         }
+    }
+
+    /// Tentpole of the cost-model PR: `costmodel.json` is byte-identical
+    /// for jobs = 1, 4, 8, and the observed and plain flavors agree.
+    #[test]
+    fn costmodel_is_byte_identical_across_jobs() {
+        let cfg = ExperimentConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 200,
+            events: 6,
+            seed: 0xDE7,
+            bgp: BgpConfig::default(),
+            event_limit: None,
+        };
+        let (base_report, base_cost) = run_experiment_with_cost(&cfg, 1);
+        let base_json = base_cost.to_json();
+        assert_eq!(base_cost.events(), cfg.events);
+        assert!(base_cost.total().grand_total() > 0, "counters must see work");
+        // Measured phases do real per-class work.
+        let totals = base_cost.phase_totals();
+        for phase in &totals {
+            assert!(phase.deliveries > 0);
+            assert!(phase.decision_runs > 0);
+            assert!(phase.queue_pushes > 0);
+        }
+        for jobs in [4, 8] {
+            let (report, cost) = run_experiment_with_cost(&cfg, jobs);
+            assert_eq!(base_json, cost.to_json(), "costmodel.json diverged at jobs={jobs}");
+            assert_eq!(base_report, report, "report diverged at jobs={jobs}");
+        }
+        // The observed flavor collects the identical model.
+        let observed = run_experiment_observed(&cfg, 4, None);
+        assert_eq!(base_json, observed.cost.to_json(), "observed cost diverged");
     }
 
     /// Provenance-enabled runs leave the churn report unchanged: stamps

@@ -60,6 +60,6 @@ pub mod sim;
 
 pub use harness::{
     run_experiment, run_experiment_jobs, run_experiment_observed, run_experiment_observed_with,
-    ChurnReport, ExperimentConfig, ObserveOptions, ObservedReport,
+    run_experiment_with_cost, ChurnReport, ExperimentConfig, ObserveOptions, ObservedReport,
 };
 pub use sim::{BudgetSnapshot, SimTemplate, Simulator};

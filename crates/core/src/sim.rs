@@ -21,7 +21,9 @@ use std::sync::Arc;
 
 use bgpscale_bgp::node::Actions;
 use bgpscale_bgp::{BgpConfig, BgpNode, Prefix, Update};
-use bgpscale_obs::{EventKind, NoopObserver, Provenance, RootCauseKind, SimObserver, UpdateClass};
+use bgpscale_obs::{
+    EventKind, NoopObserver, OpCounts, Provenance, RootCauseKind, SimObserver, UpdateClass,
+};
 use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
 use bgpscale_simkernel::{EventQueue, SimDuration, SimTime};
 use bgpscale_topology::{AsGraph, AsId};
@@ -153,6 +155,14 @@ pub struct Simulator<O: SimObserver = NoopObserver> {
     /// MRAI timers currently armed across all nodes (occupancy telemetry).
     /// Each armed timer corresponds to one outstanding valid expiry event.
     armed_timers: u64,
+    /// Cost-model tally: messages actually delivered (after in-flight loss
+    /// filtering). Monotone.
+    deliveries: u64,
+    /// Cost-model tally: MRAI timers armed over the run. Monotone.
+    mrai_armed_total: u64,
+    /// Cost-model tally: MRAI expiries that fired while still valid
+    /// (stale-epoch expiries excluded). Monotone.
+    mrai_fired: u64,
 }
 
 fn link_key(a: AsId, b: AsId) -> (AsId, AsId) {
@@ -248,6 +258,9 @@ impl SimTemplate {
             messages_dropped: 0,
             next_root: 0,
             armed_timers: 0,
+            deliveries: 0,
+            mrai_armed_total: 0,
+            mrai_fired: 0,
         }
     }
 }
@@ -516,6 +529,7 @@ impl<O: SimObserver> Simulator<O> {
                     return;
                 }
                 self.last_activity = now;
+                self.deliveries += 1;
                 let slot = self.nodes[to.index()]
                     .slot_of(from)
                     .expect("delivery from non-neighbor");
@@ -574,6 +588,7 @@ impl<O: SimObserver> Simulator<O> {
                 // A valid expiry consumes one armed timer; a rearm in the
                 // resulting actions re-adds it in `apply_actions`.
                 self.armed_timers -= 1;
+                self.mrai_fired += 1;
                 self.obs.on_timer_occupancy(self.armed_timers, now);
                 let actions = match prefix {
                     None => self.nodes[node.index()].mrai_expired(slot),
@@ -639,8 +654,39 @@ impl<O: SimObserver> Simulator<O> {
         }
         if armed_delta > 0 {
             self.armed_timers += armed_delta;
+            self.mrai_armed_total += armed_delta;
             self.obs.on_timer_occupancy(self.armed_timers, now);
         }
+    }
+
+    /// The current cost-model snapshot: event-queue op tallies plus every
+    /// node's decision/path/RIB counters plus the simulator's own
+    /// delivery and MRAI counters, folded into one [`OpCounts`]. All
+    /// constituents are monotone, so two snapshots can be subtracted to
+    /// attribute work to the interval between them (see
+    /// [`bgpscale_obs::costmodel`]).
+    pub fn cost_counts(&self) -> OpCounts {
+        let q = self.queue.op_counts();
+        let mut c = OpCounts {
+            queue_pushes: q.pushes,
+            queue_pops: q.pops,
+            queue_decreases: q.decreases,
+            queue_comparisons: q.comparisons,
+            deliveries: self.deliveries,
+            mrai_armed: self.mrai_armed_total,
+            mrai_fired: self.mrai_fired,
+            ..OpCounts::default()
+        };
+        for node in &self.nodes {
+            let n = node.cost_counters();
+            c.decision_runs += n.decision_runs;
+            c.route_comparisons += n.route_comparisons;
+            c.rib_out_writes += n.rib_out_writes;
+            c.path_intern_hits += n.path_intern_hits;
+            c.path_intern_misses += n.path_intern_misses;
+            c.mrai_coalesced += n.mrai_coalesced;
+        }
+        c
     }
 
     fn draw_service_time(&mut self) -> SimDuration {
@@ -831,6 +877,32 @@ mod tests {
             total[1],
             total[0]
         );
+    }
+
+    #[test]
+    fn cost_counts_are_exactly_repeatable_and_monotone() {
+        let (g, ids) = chain_graph();
+        let run = || {
+            let mut sim = Simulator::new(g.clone(), BgpConfig::default(), 21);
+            sim.originate(ids[4], P);
+            sim.run_to_quiescence().unwrap();
+            let mid = sim.cost_counts();
+            sim.withdraw(ids[4], P);
+            sim.run_to_quiescence().unwrap();
+            (mid, sim.cost_counts())
+        };
+        let (mid_a, end_a) = run();
+        let (mid_b, end_b) = run();
+        assert_eq!(mid_a, mid_b, "same seed, same op counts");
+        assert_eq!(end_a, end_b);
+        // Monotone: the DOWN phase only adds work.
+        let delta = end_a.since(&mid_a);
+        assert!(delta.deliveries > 0, "withdrawals were delivered");
+        assert_eq!(end_a.since(&delta), mid_a);
+        // Conservation at quiescence: every push was popped.
+        assert_eq!(end_a.queue_pushes, end_a.queue_pops);
+        assert!(end_a.decision_runs > 0);
+        assert!(end_a.mrai_armed >= end_a.mrai_fired);
     }
 
     #[test]

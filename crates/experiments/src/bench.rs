@@ -1,0 +1,512 @@
+//! `repro bench`: wall-clock scaling of the harness plus the exact
+//! cost-model columns of every timed cell.
+//!
+//! This module is **wall-side**: wall times, RSS, and allocator tallies
+//! are measurement noise by definition and never enter a deterministic
+//! artifact. The op counts embedded per cell, however, come from the
+//! integer-only [`CostModel`] and are bit-identical across `--jobs`.
+//!
+//! ## Timing discipline
+//!
+//! Observer-overhead micro-benchmarks run **one warmup + five timed
+//! samples and report the median**. An earlier revision reported the
+//! best-of-3 minimum, which on a shared machine routinely produced
+//! *negative* overhead (the instrumented run won the lottery against the
+//! uninstrumented one — the recorded artifact said
+//! `metrics_overhead_pct: -4.51`). The median of five is robust to a
+//! single scheduling outlier in either direction; all raw samples are
+//! recorded so the spread is auditable. Reported overhead percentages are
+//! clamped at 0 and flagged `noise_floor` when the raw value was
+//! negative.
+//!
+//! ## Scaling exponents
+//!
+//! With at least two distinct sweep sizes the bench fits, per op class,
+//! `ln(ops per event) = a + b·ln(n)` by least squares and reports `b` as
+//! the class's scaling exponent (`cost_exponents`). The paper's
+//! headline — churn grows linearly in n (§5) — predicts exponents near 1
+//! for delivery-coupled classes and mildly superlinear for heap work.
+
+use std::sync::Arc;
+
+use bgpscale_bgp::MraiMode;
+use bgpscale_core::{run_experiment_jobs, run_experiment_observed, ExperimentConfig};
+use bgpscale_obs::costmodel::OpCounts;
+use bgpscale_obs::{log, CostModel, SCHEMA_VERSION};
+use bgpscale_simkernel::{alloc, peak_rss_bytes, Stopwatch};
+use bgpscale_stats::regression::fit_linear;
+use bgpscale_topology::{GrowthScenario, NodeType};
+
+use crate::sweep::{RunConfig, Sweeper};
+
+/// How many timed samples each micro-benchmark takes (after one warmup).
+pub const BENCH_SAMPLES: usize = 5;
+
+/// One timed micro-benchmark: the median and the raw samples behind it.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// Median of the timed samples, seconds.
+    pub median_s: f64,
+    /// All timed samples in execution order, seconds.
+    pub samples_s: Vec<f64>,
+}
+
+/// Runs `f` once untimed (warmup), then [`BENCH_SAMPLES`] times timed,
+/// and reports the median. The warmup run absorbs cold caches, lazy page
+/// faults, and first-touch allocator growth.
+pub fn median_of_samples(mut f: impl FnMut()) -> Timing {
+    f(); // warmup, never recorded
+    let samples_s: Vec<f64> = (0..BENCH_SAMPLES)
+        .map(|_| {
+            let t = Stopwatch::start();
+            f();
+            t.elapsed_secs_f64()
+        })
+        .collect();
+    let mut sorted = samples_s.clone();
+    sorted.sort_by(f64::total_cmp);
+    Timing {
+        median_s: sorted[BENCH_SAMPLES / 2],
+        samples_s,
+    }
+}
+
+/// An overhead ratio with the noise floor applied: negative raw values
+/// (instrumented run beat the uninstrumented one — pure scheduling noise)
+/// are reported as 0 with the `noise_floor` flag set.
+#[derive(Clone, Copy, Debug)]
+pub struct Overhead {
+    /// `(instrumented / baseline − 1) · 100`, unclamped.
+    pub raw_pct: f64,
+    /// `max(raw_pct, 0)` — the value headline consumers should read.
+    pub pct: f64,
+    /// True when the raw value was negative.
+    pub noise_floor: bool,
+}
+
+impl Overhead {
+    fn from_ratio(instrumented_s: f64, baseline_s: f64) -> Overhead {
+        let raw_pct = (instrumented_s / baseline_s - 1.0) * 100.0;
+        Overhead {
+            raw_pct,
+            pct: raw_pct.max(0.0),
+            noise_floor: raw_pct < 0.0,
+        }
+    }
+}
+
+/// The observer-overhead micro-benchmark: the first-size Baseline cell at
+/// jobs=1 with the observer off, metrics-only, and full-trace.
+#[derive(Clone, Debug)]
+pub struct ObserverOverhead {
+    pub off: Timing,
+    pub metrics: Timing,
+    pub trace: Timing,
+    pub metrics_overhead: Overhead,
+    pub trace_overhead: Overhead,
+}
+
+/// One timed sweep cell, annotated with its exact op counts and the
+/// wall-side allocator delta observed while it computed.
+#[derive(Clone, Debug)]
+pub struct BenchCell {
+    pub n: usize,
+    pub wall_s: f64,
+    pub events_per_s: f64,
+    /// Total exact op counts of the cell (integer-only, deterministic).
+    pub ops: OpCounts,
+    /// Heap allocations made while the cell computed, when the counting
+    /// allocator is installed (`alloc-count` feature); `None` otherwise.
+    pub alloc_allocs: Option<u64>,
+    /// Bytes allocated while the cell computed, same gating.
+    pub alloc_bytes: Option<u64>,
+}
+
+/// One full sweep at a fixed worker count.
+#[derive(Clone, Debug)]
+pub struct BenchRun {
+    pub requested_jobs: usize,
+    pub effective_jobs: usize,
+    pub total_wall_s: f64,
+    pub cells: Vec<BenchCell>,
+}
+
+/// A fitted per-op-class scaling law `ops_per_event ∝ n^exponent`.
+#[derive(Clone, Debug)]
+pub struct CostExponent {
+    pub class: &'static str,
+    pub exponent: f64,
+    pub r_squared: f64,
+}
+
+/// Everything `repro bench` measured, pre-rendering.
+#[derive(Clone, Debug)]
+pub struct BenchOutput {
+    pub runs: Vec<BenchRun>,
+    pub overhead: ObserverOverhead,
+    /// Per-op-class scaling exponents; empty when the sweep has fewer
+    /// than two distinct sizes or a class saw zero ops at some size.
+    pub exponents: Vec<CostExponent>,
+    /// Peak resident set size of this process (Linux `VmHWM`), bytes.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+fn first_cell_config(cfg: &RunConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        scenario: GrowthScenario::Baseline,
+        n: cfg.sizes.first().copied().unwrap_or(300),
+        events: cfg.events,
+        seed: cfg.seed,
+        bgp: Default::default(),
+        event_limit: None,
+    }
+}
+
+fn bench_observer_overhead(cfg: &RunConfig) -> ObserverOverhead {
+    let cell = first_cell_config(cfg);
+    log!(Info, "bench: observer overhead on Baseline n={} …", cell.n);
+    let off = median_of_samples(|| {
+        std::hint::black_box(run_experiment_jobs(&cell, 1));
+    });
+    let metrics = median_of_samples(|| {
+        std::hint::black_box(run_experiment_observed(&cell, 1, None));
+    });
+    let trace = median_of_samples(|| {
+        std::hint::black_box(run_experiment_observed(&cell, 1, Some(1)));
+    });
+    let metrics_overhead = Overhead::from_ratio(metrics.median_s, off.median_s);
+    let trace_overhead = Overhead::from_ratio(trace.median_s, off.median_s);
+    ObserverOverhead {
+        off,
+        metrics,
+        trace,
+        metrics_overhead,
+        trace_overhead,
+    }
+}
+
+/// Fits per-op-class scaling exponents from the cost models of one run.
+/// Requires ≥ 2 distinct sizes and a nonzero count at every size (the
+/// log-log fit is undefined otherwise); classes failing that are skipped.
+pub fn fit_cost_exponents(cells: &[(usize, Arc<CostModel>)], events: usize) -> Vec<CostExponent> {
+    let mut distinct: Vec<usize> = cells.iter().map(|(n, _)| *n).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() < 2 || events == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, &(class, _)) in OpCounts::default().fields().iter().enumerate() {
+        let mut xs = Vec::with_capacity(cells.len());
+        let mut ys = Vec::with_capacity(cells.len());
+        let mut ok = true;
+        for (n, cost) in cells {
+            let count = cost.total().fields()[idx].1;
+            if count == 0 {
+                ok = false;
+                break;
+            }
+            xs.push((*n as f64).ln());
+            ys.push((count as f64 / events as f64).ln());
+        }
+        if !ok {
+            continue;
+        }
+        let fit = fit_linear(&xs, &ys);
+        out.push(CostExponent {
+            class,
+            exponent: fit.slope,
+            r_squared: fit.r_squared,
+        });
+    }
+    out
+}
+
+/// Times the Baseline NO-WRATE sweep once per requested worker count
+/// (each with a fresh cache), collecting per-cell op counts and allocator
+/// deltas, and cross-checks that every run's reports are bit-identical to
+/// the first run's.
+///
+/// # Panics
+/// Panics if a parallel run's report diverges from the first run's — that
+/// is a determinism bug, not a measurement artifact.
+pub fn run_bench(cfg: &RunConfig, jobs_list: &[usize]) -> BenchOutput {
+    let mut runs = Vec::new();
+    let mut baseline_reports: Option<Vec<_>> = None;
+    let mut exponents = Vec::new();
+    for &requested in jobs_list {
+        let mut sw = Sweeper::new(cfg.clone());
+        sw.set_jobs(requested);
+        let effective = sw.jobs();
+        log!(Info, "bench: sweeping Baseline with jobs={requested} (effective {effective}) …");
+        let mut cells = Vec::new();
+        let total_started = Stopwatch::start();
+        for &n in &cfg.sizes.clone() {
+            let alloc_before = alloc::snapshot();
+            let cell_started = Stopwatch::start();
+            let report = sw.report(GrowthScenario::Baseline, n, MraiMode::NoWrate);
+            let wall_s = cell_started.elapsed_secs_f64();
+            let alloc_delta = alloc::snapshot()
+                .zip(alloc_before)
+                .map(|(now, before)| now.since(&before));
+            let cost = sw
+                .cost_model(GrowthScenario::Baseline, n, MraiMode::NoWrate)
+                .expect("uncached bench cell always collects a cost model");
+            cells.push((
+                BenchCell {
+                    n,
+                    wall_s,
+                    events_per_s: cfg.events as f64 / wall_s,
+                    ops: cost.total(),
+                    alloc_allocs: alloc_delta.as_ref().map(|d| d.allocs),
+                    alloc_bytes: alloc_delta.as_ref().map(|d| d.bytes_allocated),
+                },
+                report,
+                cost,
+            ));
+        }
+        let total_s = total_started.elapsed_secs_f64();
+        log!(Info, "bench: jobs={requested} finished in {total_s:.2}s");
+        match &baseline_reports {
+            None => {
+                baseline_reports = Some(cells.iter().map(|(_, r, _)| r.clone()).collect());
+                exponents = fit_cost_exponents(
+                    &cells
+                        .iter()
+                        .map(|(c, _, cost)| (c.n, Arc::clone(cost)))
+                        .collect::<Vec<_>>(),
+                    cfg.events,
+                );
+            }
+            Some(first) => {
+                for ((_, r, _), f) in cells.iter().zip(first) {
+                    for ty in [NodeType::T, NodeType::M, NodeType::Cp, NodeType::C] {
+                        assert_eq!(
+                            r.by_type(ty),
+                            f.by_type(ty),
+                            "jobs={requested} diverged from jobs={} at n={}",
+                            jobs_list[0],
+                            r.n
+                        );
+                    }
+                }
+            }
+        }
+        runs.push(BenchRun {
+            requested_jobs: requested,
+            effective_jobs: effective,
+            total_wall_s: total_s,
+            cells: cells.into_iter().map(|(c, _, _)| c).collect(),
+        });
+    }
+
+    let overhead = bench_observer_overhead(cfg);
+    BenchOutput {
+        runs,
+        overhead,
+        exponents,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+fn push_samples(json: &mut String, key: &str, t: &Timing, indent: &str) {
+    json.push_str(&format!("{indent}\"{key}_s\": {:.6},\n", t.median_s));
+    let samples = t
+        .samples_s
+        .iter()
+        .map(|s| format!("{s:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    json.push_str(&format!("{indent}\"{key}_samples_s\": [{samples}],\n"));
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+/// Renders the BENCH_harness.json document. Wall-side — floats are fine
+/// here; only the embedded op counts are deterministic.
+pub fn render_json(cfg: &RunConfig, out: &BenchOutput, git_rev: &str) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let base_total = out.runs.first().map(|r| r.total_wall_s).unwrap_or(f64::NAN);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    json.push_str(&format!("  \"git_rev\": \"{git_rev}\",\n"));
+    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
+    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    json.push_str(&format!("  \"events_per_cell\": {},\n", cfg.events));
+    json.push_str(&format!(
+        "  \"sizes\": [{}],\n",
+        cfg.sizes.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"scenario\": \"BASELINE\",\n");
+    json.push_str("  \"mode\": \"NO-WRATE\",\n");
+    json.push_str(&format!(
+        "  \"peak_rss_bytes\": {},\n",
+        opt_u64(out.peak_rss_bytes)
+    ));
+    json.push_str("  \"observer_overhead\": {\n");
+    json.push_str(&format!(
+        "    \"comment\": \"first-size cell, jobs=1, median of {BENCH_SAMPLES} after 1 warmup; off = NoopObserver (static dispatch); negative raw overhead is scheduling noise, reported clamped at 0 with noise_floor set\",\n"
+    ));
+    let o = &out.overhead;
+    push_samples(&mut json, "off", &o.off, "    ");
+    push_samples(&mut json, "metrics", &o.metrics, "    ");
+    push_samples(&mut json, "trace", &o.trace, "    ");
+    json.push_str(&format!(
+        "    \"metrics_overhead_pct\": {:.2},\n",
+        o.metrics_overhead.pct
+    ));
+    json.push_str(&format!(
+        "    \"metrics_overhead_raw_pct\": {:.2},\n",
+        o.metrics_overhead.raw_pct
+    ));
+    json.push_str(&format!(
+        "    \"trace_overhead_pct\": {:.2},\n",
+        o.trace_overhead.pct
+    ));
+    json.push_str(&format!(
+        "    \"trace_overhead_raw_pct\": {:.2},\n",
+        o.trace_overhead.raw_pct
+    ));
+    json.push_str(&format!(
+        "    \"noise_floor\": {}\n",
+        o.metrics_overhead.noise_floor || o.trace_overhead.noise_floor
+    ));
+    json.push_str("  },\n");
+    if out.exponents.is_empty() {
+        json.push_str("  \"cost_exponents\": null,\n");
+    } else {
+        json.push_str("  \"cost_exponents\": {\n");
+        json.push_str(
+            "    \"comment\": \"log-log least-squares fit of ops-per-event vs n over the sweep sizes\",\n",
+        );
+        for (i, e) in out.exponents.iter().enumerate() {
+            json.push_str(&format!(
+                "    \"{}\": {{ \"exponent\": {:.4}, \"r_squared\": {:.4} }}{}\n",
+                e.class,
+                e.exponent,
+                e.r_squared,
+                if i + 1 < out.exponents.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  },\n");
+    }
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in out.runs.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"requested_jobs\": {},\n", run.requested_jobs));
+        json.push_str(&format!("      \"effective_jobs\": {},\n", run.effective_jobs));
+        json.push_str(&format!("      \"total_wall_s\": {:.6},\n", run.total_wall_s));
+        json.push_str(&format!(
+            "      \"speedup_vs_first_run\": {:.4},\n",
+            base_total / run.total_wall_s
+        ));
+        json.push_str("      \"cells\": [\n");
+        for (j, c) in run.cells.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"n\": {}, \"wall_s\": {:.6}, \"events_per_s\": {:.3}, \
+                 \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_comparisons\": {}, \
+                 \"deliveries\": {}, \"decision_runs\": {}, \"total_ops\": {}, \
+                 \"alloc_allocs\": {}, \"alloc_bytes\": {} }}{}\n",
+                c.n,
+                c.wall_s,
+                c.events_per_s,
+                c.ops.queue_pushes,
+                c.ops.queue_pops,
+                c.ops.queue_comparisons,
+                c.ops.deliveries,
+                c.ops.decision_runs,
+                c.ops.grand_total(),
+                opt_u64(c.alloc_allocs),
+                opt_u64(c.alloc_bytes),
+                if j + 1 < run.cells.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("      ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < out.runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig {
+            sizes: vec![150, 250],
+            events: 2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut calls = 0u32;
+        let t = median_of_samples(|| {
+            calls += 1;
+            if calls == 2 {
+                // One slow sample (the first *timed* one) must not move
+                // the median the way it would move a mean.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+        });
+        assert_eq!(calls as usize, 1 + BENCH_SAMPLES, "warmup + samples");
+        assert_eq!(t.samples_s.len(), BENCH_SAMPLES);
+        assert!(t.median_s < 0.02, "median {} absorbed the outlier", t.median_s);
+    }
+
+    #[test]
+    fn overhead_clamps_negative_to_noise_floor() {
+        let o = Overhead::from_ratio(0.95, 1.0);
+        assert!(o.raw_pct < 0.0);
+        assert_eq!(o.pct, 0.0);
+        assert!(o.noise_floor);
+        let p = Overhead::from_ratio(1.10, 1.0);
+        assert!((p.pct - 10.0).abs() < 1e-9);
+        assert!(!p.noise_floor);
+    }
+
+    #[test]
+    fn bench_json_carries_schema_cost_columns_and_exponents() {
+        let cfg = tiny_cfg();
+        let out = run_bench(&cfg, &[1]);
+        let json = render_json(&cfg, &out, "testrev");
+        assert!(json.starts_with("{\n  \"schema_version\": "));
+        assert!(json.contains("\"peak_rss_bytes\": "));
+        assert!(json.contains("\"queue_pushes\": "));
+        assert!(json.contains("\"alloc_allocs\": "));
+        assert!(json.contains("\"metrics_overhead_raw_pct\": "));
+        assert!(json.contains("\"noise_floor\": "));
+        // Two distinct sizes → the exponent table exists and is sane.
+        assert!(!out.exponents.is_empty(), "two sizes must yield exponents");
+        for e in &out.exponents {
+            assert!(e.exponent.is_finite(), "{}: {}", e.class, e.exponent);
+        }
+        assert!(json.contains("\"cost_exponents\": {"));
+        // The clamped headline value is never negative.
+        assert!(out.overhead.metrics_overhead.pct >= 0.0);
+        assert!(out.overhead.trace_overhead.pct >= 0.0);
+    }
+
+    #[test]
+    fn exponents_need_two_distinct_sizes() {
+        let cfg = RunConfig {
+            sizes: vec![150],
+            events: 2,
+            seed: 42,
+        };
+        let mut sw = Sweeper::new(cfg.clone());
+        sw.report(GrowthScenario::Baseline, 150, MraiMode::NoWrate);
+        let cost = sw
+            .cost_model(GrowthScenario::Baseline, 150, MraiMode::NoWrate)
+            .unwrap();
+        assert!(fit_cost_exponents(&[(150, cost)], cfg.events).is_empty());
+    }
+}

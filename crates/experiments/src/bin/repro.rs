@@ -15,6 +15,17 @@
 //!   bench          time the Baseline sweep at several worker counts and
 //!                  write BENCH_harness.json (see --bench-jobs / --out);
 //!                  also records observer off/metrics/trace overhead
+//!                  (median of 5 after a warmup), peak RSS, per-cell
+//!                  exact op-count and allocator columns, and fitted
+//!                  per-op-class scaling exponents (cost_exponents)
+//!   perf           run cells and compare their exact op counts against
+//!                  checked-in baselines (results/perf-baselines/):
+//!                    --check          gate: exit 1 on any drift
+//!                    --bless          (re)record the baselines instead
+//!                    --perturb <seed> deterministically corrupt one
+//!                                     counter first (CI mutation gate)
+//!                    --baseline-dir <dir>   override the baseline dir
+//!                    --costmodel-out <file> also write costmodel.json
 //!   profile        run one observed cell and print a phase profile
 //!                  (see --scenario, --cell-n, --check)
 //!   report         run one cell under NO-WRATE *and* WRATE with the
@@ -75,20 +86,28 @@
 
 use std::io::Write as _;
 
-use bgpscale_experiments::{figures, htmlreport, profile};
+use bgpscale_experiments::{bench, figures, htmlreport, perf, profile};
 use bgpscale_experiments::{Figure, RunConfig, Sweeper};
 use bgpscale_obs::{log, TraceRecord, TraceWriter};
 use bgpscale_simkernel::Stopwatch;
 use bgpscale_topology::GrowthScenario;
 
+/// With the `alloc-count` feature, tally every heap allocation so
+/// `repro bench` can report per-cell allocator columns. Wall-side only.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static ALLOC: bgpscale_simkernel::alloc::CountingAlloc =
+    bgpscale_simkernel::alloc::CountingAlloc;
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench|profile|report> \
+        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench|perf|profile|report> \
          [--tiny|--quick|--full] [--seed N] [--events K] [--sizes a,b,c] [--csv DIR] \
          [--jobs N] [--bench-jobs a,b,c] [--out FILE] \
          [--metrics-out FILE] [--trace-out FILE] [--trace-sample N] \
          [--scenario S] [--cell-n N] [--event-limit N] [--bin-us N] \
-         [--report-out FILE] [--timeseries-out FILE] [--check]\n\
+         [--report-out FILE] [--timeseries-out FILE] [--check] \
+         [--bless] [--perturb SEED] [--baseline-dir DIR] [--costmodel-out FILE]\n\
          exit codes: 0 = ok, 1 = failed run or --check, 2 = usage error \
          (same convention as detlint --check)"
     );
@@ -123,8 +142,16 @@ struct Options {
     report_out: std::path::PathBuf,
     /// `report`: where to write the raw time series.
     timeseries_out: std::path::PathBuf,
-    /// `profile`/`report`: fail the process if the output looks empty.
+    /// `profile`/`report`/`perf`: fail the process if the check fails.
     check: bool,
+    /// `perf`: (re)record the baselines instead of checking.
+    bless: bool,
+    /// `perf`: deterministically corrupt one counter before comparison.
+    perturb: Option<u64>,
+    /// `perf`: where the checked-in baselines live.
+    baseline_dir: std::path::PathBuf,
+    /// `perf`: also write the measured cost model here.
+    costmodel_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -145,6 +172,10 @@ fn parse_args() -> Options {
     let mut report_out = std::path::PathBuf::from("report.html");
     let mut timeseries_out = std::path::PathBuf::from("timeseries.json");
     let mut check = false;
+    let mut bless = false;
+    let mut perturb = None;
+    let mut baseline_dir = std::path::PathBuf::from("results/perf-baselines");
+    let mut costmodel_out = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tiny" => cfg = RunConfig::tiny().with_seed(cfg.seed),
@@ -236,6 +267,19 @@ fn parse_args() -> Options {
                 timeseries_out = std::path::PathBuf::from(v);
             }
             "--check" => check = true,
+            "--bless" => bless = true,
+            "--perturb" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                perturb = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--baseline-dir" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                baseline_dir = std::path::PathBuf::from(v);
+            }
+            "--costmodel-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                costmodel_out = Some(std::path::PathBuf::from(v));
+            }
             _ => usage(),
         }
     }
@@ -256,6 +300,10 @@ fn parse_args() -> Options {
         report_out,
         timeseries_out,
         check,
+        bless,
+        perturb,
+        baseline_dir,
+        costmodel_out,
     }
 }
 
@@ -396,150 +444,84 @@ fn git_rev() -> String {
 }
 
 /// `repro bench`: time the Baseline NO-WRATE sweep once per requested
-/// worker count (each with a fresh cache) and write a JSON report.
-///
-/// Every run computes bit-identical reports — the bench cross-checks this
-/// by comparing each run's per-type means against the first run's.
-/// Best-of-3 wall time of one closure (the usual micro-bench discipline:
-/// the minimum is the least noisy estimator on a shared machine).
-fn best_of_3(mut f: impl FnMut()) -> f64 {
-    (0..3)
-        .map(|_| {
-            let t = Stopwatch::start();
-            f();
-            t.elapsed_secs_f64()
-        })
-        .fold(f64::INFINITY, f64::min)
-}
-
-/// Times the first-size Baseline cell at jobs=1 with the observer off,
-/// metrics-only, and full-trace. Returns `(off_s, metrics_s, trace_s)`.
-fn bench_observer_overhead(cfg: &RunConfig) -> (f64, f64, f64) {
-    use bgpscale_core::{run_experiment_jobs, run_experiment_observed, ExperimentConfig};
-
-    let cell = ExperimentConfig {
-        scenario: bgpscale_topology::GrowthScenario::Baseline,
-        n: cfg.sizes.first().copied().unwrap_or(300),
-        events: cfg.events,
-        seed: cfg.seed,
-        bgp: Default::default(),
-        event_limit: None,
-    };
-    log!(Info, "bench: observer overhead on Baseline n={} …", cell.n);
-    let off_s = best_of_3(|| {
-        std::hint::black_box(run_experiment_jobs(&cell, 1));
-    });
-    let metrics_s = best_of_3(|| {
-        std::hint::black_box(run_experiment_observed(&cell, 1, None));
-    });
-    let trace_s = best_of_3(|| {
-        std::hint::black_box(run_experiment_observed(&cell, 1, Some(1)));
-    });
-    (off_s, metrics_s, trace_s)
-}
-
-fn run_bench(
-    cfg: &RunConfig,
-    jobs_list: &[usize],
-    out: &std::path::Path,
-) -> std::io::Result<()> {
-    use bgpscale_topology::{GrowthScenario, NodeType};
-
-    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut runs = Vec::new();
-    let mut baseline_reports: Option<Vec<_>> = None;
-    for &requested in jobs_list {
-        let mut sw = Sweeper::new(cfg.clone());
-        sw.set_jobs(requested);
-        let effective = sw.jobs();
-        log!(Info, "bench: sweeping Baseline with jobs={requested} (effective {effective}) …");
-        let mut cells = Vec::new();
-        let total_started = Stopwatch::start();
-        for &n in &cfg.sizes.clone() {
-            let cell_started = Stopwatch::start();
-            let report = sw.report(GrowthScenario::Baseline, n, bgpscale_bgp::MraiMode::NoWrate);
-            let wall_s = cell_started.elapsed_secs_f64();
-            cells.push((n, wall_s, cfg.events as f64 / wall_s, report));
-        }
-        let total_s = total_started.elapsed_secs_f64();
-        log!(Info, "bench: jobs={requested} finished in {total_s:.2}s");
-        match &baseline_reports {
-            None => {
-                baseline_reports = Some(cells.iter().map(|(_, _, _, r)| r.clone()).collect());
-            }
-            Some(first) => {
-                for ((_, _, _, r), f) in cells.iter().zip(first) {
-                    for ty in [NodeType::T, NodeType::M, NodeType::Cp, NodeType::C] {
-                        assert_eq!(
-                            r.by_type(ty),
-                            f.by_type(ty),
-                            "jobs={requested} diverged from jobs={} at n={}",
-                            jobs_list[0],
-                            r.n
-                        );
-                    }
-                }
-            }
-        }
-        runs.push((requested, effective, total_s, cells));
-    }
-
-    let (off_s, metrics_s, trace_s) = bench_observer_overhead(cfg);
-
-    let base_total = runs.first().map(|(_, _, t, _)| *t).unwrap_or(f64::NAN);
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
-    json.push_str(&format!("  \"hardware_threads\": {hw},\n"));
-    json.push_str(&format!("  \"seed\": {},\n", cfg.seed));
-    json.push_str(&format!("  \"events_per_cell\": {},\n", cfg.events));
-    json.push_str(&format!(
-        "  \"sizes\": [{}],\n",
-        cfg.sizes.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(", ")
-    ));
-    json.push_str("  \"scenario\": \"BASELINE\",\n");
-    json.push_str("  \"mode\": \"NO-WRATE\",\n");
-    json.push_str("  \"observer_overhead\": {\n");
-    json.push_str("    \"comment\": \"first-size cell, jobs=1, best of 3; off = NoopObserver (static dispatch)\",\n");
-    json.push_str(&format!("    \"off_s\": {off_s:.6},\n"));
-    json.push_str(&format!("    \"metrics_s\": {metrics_s:.6},\n"));
-    json.push_str(&format!("    \"trace_s\": {trace_s:.6},\n"));
-    json.push_str(&format!(
-        "    \"metrics_overhead_pct\": {:.2},\n",
-        (metrics_s / off_s - 1.0) * 100.0
-    ));
-    json.push_str(&format!(
-        "    \"trace_overhead_pct\": {:.2}\n",
-        (trace_s / off_s - 1.0) * 100.0
-    ));
-    json.push_str("  },\n");
-    json.push_str("  \"runs\": [\n");
-    for (i, (requested, effective, total_s, cells)) in runs.iter().enumerate() {
-        json.push_str("    {\n");
-        json.push_str(&format!("      \"requested_jobs\": {requested},\n"));
-        json.push_str(&format!("      \"effective_jobs\": {effective},\n"));
-        json.push_str(&format!("      \"total_wall_s\": {total_s:.6},\n"));
-        json.push_str(&format!(
-            "      \"speedup_vs_first_run\": {:.4},\n",
-            base_total / total_s
-        ));
-        json.push_str("      \"cells\": [\n");
-        for (j, (n, wall_s, eps, _)) in cells.iter().enumerate() {
-            json.push_str(&format!(
-                "        {{ \"n\": {n}, \"wall_s\": {wall_s:.6}, \"events_per_s\": {eps:.3} }}{}\n",
-                if j + 1 < cells.len() { "," } else { "" }
-            ));
-        }
-        json.push_str("      ]\n");
-        json.push_str(&format!(
-            "    }}{}\n",
-            if i + 1 < runs.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(out, &json)?;
+/// worker count and write `BENCH_harness.json` (measurement and JSON
+/// rendering live in [`bench`]).
+fn run_bench(cfg: &RunConfig, jobs_list: &[usize], out: &std::path::Path) -> std::io::Result<()> {
+    let measured = bench::run_bench(cfg, jobs_list);
+    std::fs::write(out, bench::render_json(cfg, &measured, &git_rev()))?;
     log!(Info, "bench: wrote {}", out.display());
     Ok(())
+}
+
+/// `repro perf`: check (or `--bless`) the exact op counts of every sweep
+/// size against the checked-in baselines. Returns the process exit code.
+fn run_perf_target(opts: &Options) -> i32 {
+    let jobs = bgpscale_simkernel::pool::effective_jobs(opts.jobs).max(1);
+    let mut exit = 0i32;
+    for (i, &n) in opts.cfg.sizes.iter().enumerate() {
+        let cfg = perf::PerfConfig {
+            scenario: opts.profile_scenario,
+            n,
+            events: opts.cfg.events,
+            seed: opts.cfg.seed,
+            jobs,
+            baseline_dir: opts.baseline_dir.clone(),
+            perturb: opts.perturb,
+        };
+        log!(
+            Info,
+            "perf: {} n={n} events={} seed={} ({}) …",
+            cfg.scenario,
+            cfg.events,
+            cfg.seed,
+            if opts.bless { "bless" } else { "check" }
+        );
+        let measurement = if opts.bless {
+            match perf::bless_cell(&cfg) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("perf: blessing n={n} failed: {e}");
+                    return 1;
+                }
+            }
+        } else {
+            let (verdict, m) = perf::check_cell(&cfg);
+            match verdict {
+                perf::PerfVerdict::Pass => {
+                    log!(Info, "perf: n={n} OK ({} total ops)", m.ops.grand_total());
+                }
+                perf::PerfVerdict::Fail(msgs) => {
+                    for msg in &msgs {
+                        eprintln!("perf: n={n} FAILED: {msg}");
+                    }
+                    exit = exit.max(1);
+                }
+                perf::PerfVerdict::ConfigError(msg) => {
+                    eprintln!("perf: n={n} config error: {msg}");
+                    exit = 2;
+                }
+            }
+            m
+        };
+        if let Some(path) = &opts.costmodel_out {
+            // One size writes the exact path; more sizes get a per-size
+            // suffix so nothing is silently overwritten.
+            let path = if opts.cfg.sizes.len() == 1 {
+                path.clone()
+            } else {
+                let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("costmodel");
+                let ext = path.extension().and_then(|s| s.to_str()).unwrap_or("json");
+                path.with_file_name(format!("{stem}_n{n}.{ext}"))
+            };
+            if let Err(e) = std::fs::write(&path, measurement.cost.to_json()) {
+                eprintln!("perf: writing {} failed: {e}", path.display());
+                return 1;
+            }
+            log!(Info, "perf: wrote {}", path.display());
+        }
+        let _ = i;
+    }
+    exit
 }
 
 fn write_csv(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
@@ -560,6 +542,9 @@ fn main() {
             std::process::exit(1);
         }
         return;
+    }
+    if opts.target == "perf" {
+        std::process::exit(run_perf_target(&opts));
     }
     if opts.target == "profile" || opts.target == "report" {
         let result = if opts.target == "profile" {

@@ -18,10 +18,13 @@ use std::sync::Arc;
 
 use bgpscale_bgp::MraiMode;
 use bgpscale_core::ChurnReport;
+use bgpscale_obs::costmodel::PHASE_NAMES;
 use bgpscale_obs::render::{html_escape, html_page, svg_bars, svg_cdf, svg_sparkline};
 use bgpscale_obs::timeseries::DEPTH_BOUNDS;
+use bgpscale_obs::{CostModel, SCHEMA_VERSION};
 use bgpscale_topology::GrowthScenario;
 
+use crate::bench::{fit_cost_exponents, CostExponent};
 use crate::sweep::{CellSeries, RunConfig, Sweeper};
 
 /// One reported cell pair (the same `(scenario, n)` under both modes).
@@ -48,6 +51,15 @@ pub struct ReportOutput {
     pub cells: Vec<CellSeries>,
     /// The two cells' churn reports, same order.
     pub reports: Vec<Arc<ChurnReport>>,
+    /// The two cells' exact cost models, same order.
+    pub costs: Vec<Arc<CostModel>>,
+    /// Cost models of the NO-WRATE mini size sweep feeding the exponent
+    /// fit, ascending n (last entry is the reported cell itself).
+    pub cost_sweep: Vec<(usize, Arc<CostModel>)>,
+    /// Fitted per-op-class scaling exponents; empty when the mini sweep
+    /// collapsed to a single size (tiny n) — rendered as "n/a", not an
+    /// error.
+    pub cost_exponents: Vec<CostExponent>,
     /// The self-contained HTML page.
     pub html: String,
     /// The raw integer time series as deterministic JSON.
@@ -79,11 +91,45 @@ pub fn run_report(cfg: &ReportConfig) -> ReportOutput {
         .map(|mode| sw.report(cfg.scenario, cfg.n, mode))
         .collect();
     let cells = sw.take_series();
+    let costs: Vec<Arc<CostModel>> = MODES
+        .iter()
+        .map(|&mode| {
+            sw.cost_model(cfg.scenario, cfg.n, mode)
+                .expect("report cells were just computed")
+        })
+        .collect();
+
+    // A NO-WRATE mini size sweep below the reported n feeds the scaling-
+    // exponent fit; the reported cell itself is its largest point. Run
+    // after take_series() so the extra cells' series don't join the page.
+    let mut sweep_sizes: Vec<usize> = [cfg.n / 3, 2 * cfg.n / 3, cfg.n]
+        .into_iter()
+        .map(|s| s.max(120))
+        .collect();
+    sweep_sizes.sort_unstable();
+    sweep_sizes.dedup();
+    let cost_sweep: Vec<(usize, Arc<CostModel>)> = sweep_sizes
+        .into_iter()
+        .map(|s| {
+            sw.report(cfg.scenario, s, MraiMode::NoWrate);
+            (
+                s,
+                sw.cost_model(cfg.scenario, s, MraiMode::NoWrate)
+                    .expect("sweep cell was just computed"),
+            )
+        })
+        .collect();
+    let _ = sw.take_series(); // drop the mini sweep's series
+    let cost_exponents = fit_cost_exponents(&cost_sweep, cfg.events);
+
     let timeseries_json = timeseries_json(cfg, &cells);
-    let html = render_html(cfg, &reports, &cells);
+    let html = render_html(cfg, &reports, &cells, &costs, &cost_sweep, &cost_exponents);
     ReportOutput {
         cells,
         reports,
+        costs,
+        cost_sweep,
+        cost_exponents,
         html,
         timeseries_json,
     }
@@ -95,7 +141,7 @@ fn timeseries_json(cfg: &ReportConfig, cells: &[CellSeries]) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\"scenario\":\"{}\",\"n\":{},\"events\":{},\"seed\":{},\"bin_us\":{},\"cells\":[",
+        "{{\"schema_version\":{SCHEMA_VERSION},\"scenario\":\"{}\",\"n\":{},\"events\":{},\"seed\":{},\"bin_us\":{},\"cells\":[",
         cfg.scenario, cfg.n, cfg.events, cfg.seed, cfg.bin_us
     );
     for (i, cell) in cells.iter().enumerate() {
@@ -154,6 +200,26 @@ pub fn check(out: &ReportOutput) -> Result<(), String> {
             ));
         }
     }
+    if out.costs.len() != MODES.len() {
+        return Err(format!(
+            "expected {} cost models, got {}",
+            MODES.len(),
+            out.costs.len()
+        ));
+    }
+    for (cost, cell) in out.costs.iter().zip(&out.cells) {
+        if cost.is_empty() || cost.total().grand_total() == 0 {
+            return Err(format!(
+                "{}: cost-attribution panel is empty",
+                cell.mode.label()
+            ));
+        }
+    }
+    if out.cost_sweep.is_empty() {
+        return Err("cost mini sweep is empty".to_string());
+    }
+    // An empty exponent table is legitimate (single-size mini sweep at
+    // tiny n) — it renders as "n/a" and must not fail the gate.
     Ok(())
 }
 
@@ -174,8 +240,93 @@ fn spark_row(body: &mut String, label: &str, values: &[u64], color: &str) {
     );
 }
 
+/// Renders the cost-attribution section: stacked per-phase op counts for
+/// both modes, the fitted scaling-exponent table, and ops-per-event-vs-n
+/// sparklines over the mini sweep.
+fn render_cost_section(
+    body: &mut String,
+    costs: &[Arc<CostModel>],
+    cells: &[CellSeries],
+    cost_sweep: &[(usize, Arc<CostModel>)],
+    exponents: &[CostExponent],
+    events: usize,
+) {
+    body.push_str("<h2>Cost attribution (exact op counts)</h2>");
+    body.push_str(
+        "<p>Integer operation counts from the deterministic cost model — \
+         byte-identical for any worker count. Wall-clock and allocator \
+         numbers live in BENCH_harness.json, never here.</p>",
+    );
+    for (cost, cell) in costs.iter().zip(cells) {
+        let _ = write!(
+            body,
+            "<div class=\"panel\"><h3>{} — ops per phase</h3>",
+            html_escape(cell.mode.label())
+        );
+        let totals = cost.phase_totals();
+        let grand: Vec<u64> = totals.iter().map(|p| p.grand_total()).collect();
+        body.push_str(&svg_bars(&PHASE_NAMES, &grand, BAR_W, BAR_H, "#0969da"));
+        body.push_str(
+            "<table><tr><th>op class</th><th>warmup</th><th>down</th><th>up</th><th>total</th></tr>",
+        );
+        let total = cost.total();
+        for (i, (name, value)) in total.fields().iter().enumerate() {
+            let _ = write!(
+                body,
+                "<tr><td>{name}</td><td>{}</td><td>{}</td><td>{}</td><td>{value}</td></tr>",
+                totals[0].fields()[i].1,
+                totals[1].fields()[i].1,
+                totals[2].fields()[i].1,
+            );
+        }
+        body.push_str("</table></div>");
+    }
+
+    body.push_str("<div class=\"panel\"><h3>Scaling exponents (ops per event ∝ n^b)</h3>");
+    if exponents.is_empty() {
+        body.push_str(
+            "<p>n/a — the mini sweep collapsed to a single size; run the \
+             report at a larger n for a fit.</p>",
+        );
+    } else {
+        body.push_str("<table><tr><th>op class</th><th>exponent</th><th>r²</th></tr>");
+        for e in exponents {
+            let _ = write!(
+                body,
+                "<tr><td>{}</td><td>{:.3}</td><td>{:.3}</td></tr>",
+                e.class, e.exponent, e.r_squared
+            );
+        }
+        body.push_str("</table>");
+    }
+    body.push_str("</div>");
+
+    body.push_str("<div class=\"panel\"><h3>Ops per event vs n (NO-WRATE mini sweep)</h3>");
+    let sizes: Vec<String> = cost_sweep.iter().map(|(n, _)| n.to_string()).collect();
+    let _ = write!(body, "<p>n ∈ [{}]</p>", sizes.join(", "));
+    let spark_classes = ["queue_comparisons", "deliveries", "decision_runs", "rib_out_writes"];
+    let spark_colors = ["#cf222e", "#1a7f37", "#0969da", "#9a6700"];
+    let names = bgpscale_obs::OpCounts::field_names();
+    for (class, color) in spark_classes.iter().zip(spark_colors) {
+        let idx = names.iter().position(|n| n == class).expect("known class");
+        let values: Vec<u64> = cost_sweep
+            .iter()
+            .map(|(_, cost)| cost.total().fields()[idx].1 / (events.max(1) as u64))
+            .collect();
+        spark_row(body, class, &values, color);
+    }
+    body.push_str("</div>");
+}
+
 /// Renders the standalone HTML page.
-fn render_html(cfg: &ReportConfig, reports: &[Arc<ChurnReport>], cells: &[CellSeries]) -> String {
+fn render_html(
+    cfg: &ReportConfig,
+    reports: &[Arc<ChurnReport>],
+    cells: &[CellSeries],
+    costs: &[Arc<CostModel>],
+    cost_sweep: &[(usize, Arc<CostModel>)],
+    exponents: &[CostExponent],
+) -> String {
     let title = format!(
         "Churn provenance — {} n={} ({} events, seed {:#x})",
         cfg.scenario, cfg.n, cfg.events, cfg.seed
@@ -278,6 +429,8 @@ fn render_html(cfg: &ReportConfig, reports: &[Arc<ChurnReport>], cells: &[CellSe
         body.push_str("</div>");
     }
 
+    render_cost_section(&mut body, costs, cells, cost_sweep, exponents, cfg.events);
+
     html_page(&title, &body)
 }
 
@@ -311,12 +464,23 @@ mod tests {
             "class=\"cdf\"",
             "Causal depth",
             "to customers",
+            "Cost attribution",
+            "ops per phase",
+            "queue_comparisons",
         ] {
             assert!(out.html.contains(needle), "HTML missing {needle:?}");
         }
+        assert!(out.timeseries_json.starts_with("{\"schema_version\":"));
         assert!(out.timeseries_json.contains("\"mode\":\"no_wrate\""));
         assert!(out.timeseries_json.contains("\"mode\":\"wrate\""));
         assert!(out.timeseries_json.contains("\"bins\":["));
+        // The tiny cell still carries a cost model per mode, and the mini
+        // sweep has at least two sizes (120 and 150) so exponents exist.
+        assert_eq!(out.costs.len(), 2);
+        assert!(out.costs.iter().all(|c| c.total().grand_total() > 0));
+        assert!(!out.cost_sweep.is_empty());
+        assert!(!out.cost_exponents.is_empty());
+        assert!(out.html.contains("Scaling exponents"));
     }
 
     #[test]

@@ -39,9 +39,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod churn_trace;
 pub mod figures;
 pub mod htmlreport;
+pub mod perf;
 pub mod profile;
 pub mod report;
 pub mod sweep;

@@ -1,0 +1,417 @@
+//! `repro perf`: the CI perf-regression gate over the exact cost model.
+//!
+//! A **baseline** is a small checked-in JSON file under
+//! `results/perf-baselines/` holding the total per-op-class counts of one
+//! experiment cell (`<scenario>_n<N>.json`). Because the counts are exact
+//! integers and a pure function of `(scenario, n, events, seed)`, the
+//! comparison policy is two-tiered:
+//!
+//! * **deterministic op counts — exact equality.** Any drift is a real
+//!   behavior change (more decision runs, more heap work, …) and must be
+//!   either fixed or consciously re-blessed with `repro perf --bless`.
+//! * **wall-clock seconds — a wide multiplicative band** (×/÷
+//!   [`WALL_BAND`]). Wall time is recorded for context only; the band
+//!   exists to catch pathological blowups (an accidental O(n²) that the
+//!   op counts would also catch) without flaking on slow CI machines.
+//!
+//! Exit codes follow the repo-wide convention (`detlint --check`,
+//! `repro --check`): 0 = pass, 1 = check failed, 2 = usage/config error
+//! (baseline was recorded for different cell coordinates).
+//!
+//! `--perturb <seed>` deterministically inflates one op-class count
+//! before comparison — CI uses it as a mutation gate proving the check
+//! actually fails (exit exactly 1) when counts drift.
+
+use std::path::{Path, PathBuf};
+
+use bgpscale_core::{run_experiment_with_cost, ExperimentConfig};
+use bgpscale_obs::costmodel::OpCounts;
+use bgpscale_obs::{log, CostModel, SCHEMA_VERSION};
+use bgpscale_simkernel::rng::hash64_pair;
+use bgpscale_simkernel::Stopwatch;
+use bgpscale_topology::GrowthScenario;
+
+/// Wall-time sanity band: measured wall time must lie within
+/// `[baseline / WALL_BAND, baseline · WALL_BAND]`. Deliberately huge —
+/// the exact op counts are the real gate; this only catches order-of-
+/// magnitude blowups.
+pub const WALL_BAND: f64 = 25.0;
+
+/// One perf cell to check or bless.
+#[derive(Clone, Debug)]
+pub struct PerfConfig {
+    pub scenario: GrowthScenario,
+    pub n: usize,
+    pub events: usize,
+    pub seed: u64,
+    pub jobs: usize,
+    /// Directory holding the checked-in baselines.
+    pub baseline_dir: PathBuf,
+    /// When `Some(seed)`, deterministically perturb one measured op count
+    /// before comparison (the CI mutation gate).
+    pub perturb: Option<u64>,
+}
+
+/// The measured side of one cell.
+#[derive(Clone, Debug)]
+pub struct PerfMeasurement {
+    pub ops: OpCounts,
+    pub phase_grand_totals: [u64; bgpscale_obs::PHASES],
+    pub wall_s: f64,
+    /// The full model, for `--costmodel-out`.
+    pub cost: CostModel,
+}
+
+/// How a check ended; maps onto the process exit code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PerfVerdict {
+    /// Exit 0.
+    Pass,
+    /// Exit 1 — counts drifted, wall time blew the band, or the baseline
+    /// file is missing (the message carries the `--bless` hint).
+    Fail(Vec<String>),
+    /// Exit 2 — the baseline exists but was recorded for different cell
+    /// coordinates or a different schema; comparing would be meaningless.
+    ConfigError(String),
+}
+
+/// `<dir>/<scenario-lowercase>_n<N>.json`.
+pub fn baseline_path(dir: &Path, scenario: GrowthScenario, n: usize) -> PathBuf {
+    let name = scenario.to_string().to_lowercase().replace('-', "_");
+    dir.join(format!("{name}_n{n}.json"))
+}
+
+fn cell_config(cfg: &PerfConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        scenario: cfg.scenario,
+        n: cfg.n,
+        events: cfg.events,
+        seed: cfg.seed,
+        bgp: Default::default(),
+        event_limit: None,
+    }
+}
+
+/// Runs the cell and returns its measured cost model and wall time.
+pub fn measure(cfg: &PerfConfig) -> PerfMeasurement {
+    let started = Stopwatch::start();
+    let (_report, cost) = run_experiment_with_cost(&cell_config(cfg), cfg.jobs.max(1));
+    let wall_s = started.elapsed_secs_f64();
+    let totals = cost.phase_totals();
+    let mut phase_grand_totals = [0u64; bgpscale_obs::PHASES];
+    for (slot, phase) in phase_grand_totals.iter_mut().zip(&totals) {
+        *slot = phase.grand_total();
+    }
+    let mut ops = cost.total();
+    if let Some(seed) = cfg.perturb {
+        perturb_ops(&mut ops, seed);
+    }
+    PerfMeasurement {
+        ops,
+        phase_grand_totals,
+        wall_s,
+        cost,
+    }
+}
+
+/// Deterministically inflates one op-class count: class index and bump
+/// size both derive from `seed` via the repo's standard seed-fanout hash.
+fn perturb_ops(ops: &mut OpCounts, seed: u64) {
+    let idx = (hash64_pair(seed, 0xBAD) % OpCounts::FIELD_COUNT as u64) as usize;
+    let bump = 1 + hash64_pair(seed, 0xB00) % 1_000;
+    let class = OpCounts::field_names()[idx];
+    let mut fields = ops.fields();
+    fields[idx].1 += bump;
+    *ops = OpCounts::from_fields(&fields);
+    log!(Info, "perf: perturbing {class} by +{bump} (seed {seed})");
+}
+
+/// Renders the baseline document for one measured cell. Flat keys so the
+/// checker can re-read it without a JSON parser dependency.
+pub fn baseline_json(cfg: &PerfConfig, m: &PerfMeasurement) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    s.push_str(&format!("  \"scenario\": \"{}\",\n", cfg.scenario));
+    s.push_str(&format!("  \"n\": {},\n", cfg.n));
+    s.push_str(&format!("  \"events\": {},\n", cfg.events));
+    s.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    s.push_str(&format!(
+        "  \"wall_band\": {WALL_BAND},\n  \"wall_s\": {:.6},\n",
+        m.wall_s
+    ));
+    s.push_str("  \"ops\": {\n");
+    let fields = m.ops.fields();
+    for (i, (name, value)) in fields.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{name}\": {value}{}\n",
+            if i + 1 < fields.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"phase_grand_totals\": [{}]\n",
+        m.phase_grand_totals
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Extracts `"key": <integer>` from the flat baseline document.
+fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": <float>`.
+fn json_f64(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": "<string>"`.
+fn json_str<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    rest.split('"').next()
+}
+
+/// Extracts `"key": [a, b, c]` of integers.
+fn json_u64_array(doc: &str, key: &str) -> Option<Vec<u64>> {
+    let needle = format!("\"{key}\": [");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    let end = rest.find(']')?;
+    rest[..end]
+        .split(',')
+        .map(|v| v.trim().parse().ok())
+        .collect()
+}
+
+/// Compares a measurement against the baseline document.
+pub fn compare(cfg: &PerfConfig, m: &PerfMeasurement, baseline: &str) -> PerfVerdict {
+    // Coordinate checks first: a mismatch means the comparison itself is
+    // ill-posed (exit 2), not that performance regressed.
+    match json_u64(baseline, "schema_version") {
+        Some(v) if v == SCHEMA_VERSION as u64 => {}
+        other => {
+            return PerfVerdict::ConfigError(format!(
+                "baseline schema_version {other:?} != {SCHEMA_VERSION}"
+            ))
+        }
+    }
+    for (key, want) in [
+        ("n", cfg.n as u64),
+        ("events", cfg.events as u64),
+        ("seed", cfg.seed),
+    ] {
+        match json_u64(baseline, key) {
+            Some(v) if v == want => {}
+            other => {
+                return PerfVerdict::ConfigError(format!(
+                    "baseline {key} = {other:?}, this run uses {want} — \
+                     re-bless or fix the invocation"
+                ))
+            }
+        }
+    }
+    let scenario = cfg.scenario.to_string();
+    if json_str(baseline, "scenario") != Some(scenario.as_str()) {
+        return PerfVerdict::ConfigError(format!(
+            "baseline scenario {:?} != {scenario}",
+            json_str(baseline, "scenario")
+        ));
+    }
+
+    let mut failures = Vec::new();
+    // Tier 1: exact op-count equality.
+    for (name, measured) in m.ops.fields() {
+        match json_u64(baseline, name) {
+            Some(expected) if expected == measured => {}
+            Some(expected) => failures.push(format!(
+                "op count drift: {name} = {measured}, baseline {expected} \
+                 ({:+})",
+                measured as i128 - expected as i128
+            )),
+            None => failures.push(format!("baseline is missing op class {name}")),
+        }
+    }
+    match json_u64_array(baseline, "phase_grand_totals") {
+        Some(expected) if expected == m.phase_grand_totals => {}
+        other => failures.push(format!(
+            "phase grand totals {:?} != baseline {other:?}",
+            m.phase_grand_totals
+        )),
+    }
+    // Tier 2: wall-time sanity band (wall-side, intentionally loose).
+    if let Some(base_wall) = json_f64(baseline, "wall_s") {
+        if base_wall > 0.0
+            && (m.wall_s > base_wall * WALL_BAND || m.wall_s < base_wall / WALL_BAND)
+        {
+            failures.push(format!(
+                "wall time {:.3}s outside ×/÷{WALL_BAND} band of baseline {base_wall:.3}s",
+                m.wall_s
+            ));
+        }
+    }
+    if failures.is_empty() {
+        PerfVerdict::Pass
+    } else {
+        PerfVerdict::Fail(failures)
+    }
+}
+
+/// Runs the full check for one cell: measure, load the baseline, compare.
+pub fn check_cell(cfg: &PerfConfig) -> (PerfVerdict, PerfMeasurement) {
+    let m = measure(cfg);
+    let path = baseline_path(&cfg.baseline_dir, cfg.scenario, cfg.n);
+    let verdict = match std::fs::read_to_string(&path) {
+        Ok(doc) => compare(cfg, &m, &doc),
+        Err(e) => PerfVerdict::Fail(vec![format!(
+            "no baseline at {} ({e}); record one with `repro perf --bless`",
+            path.display()
+        )]),
+    };
+    (verdict, m)
+}
+
+/// Measures the cell and writes its baseline (the `--bless` flow).
+pub fn bless_cell(cfg: &PerfConfig) -> std::io::Result<PerfMeasurement> {
+    let m = measure(cfg);
+    let path = baseline_path(&cfg.baseline_dir, cfg.scenario, cfg.n);
+    std::fs::create_dir_all(&cfg.baseline_dir)?;
+    std::fs::write(&path, baseline_json(cfg, &m))?;
+    log!(Info, "perf: blessed {}", path.display());
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(dir: &Path) -> PerfConfig {
+        PerfConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 150,
+            events: 2,
+            seed: 7,
+            jobs: 2,
+            baseline_dir: dir.to_path_buf(),
+            perturb: None,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bgpscale_perf_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn bless_then_check_passes() {
+        let dir = tmpdir("roundtrip");
+        let cfg = tiny(&dir);
+        bless_cell(&cfg).unwrap();
+        let (verdict, m) = check_cell(&cfg);
+        assert_eq!(verdict, PerfVerdict::Pass, "fresh baseline must pass");
+        assert!(m.ops.grand_total() > 0);
+        assert!(m.phase_grand_totals.iter().all(|&t| t > 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perturbation_fails_the_check() {
+        let dir = tmpdir("perturb");
+        let cfg = tiny(&dir);
+        bless_cell(&cfg).unwrap();
+        let perturbed = PerfConfig {
+            perturb: Some(1),
+            ..tiny(&dir)
+        };
+        let (verdict, _) = check_cell(&perturbed);
+        match verdict {
+            PerfVerdict::Fail(msgs) => {
+                assert!(
+                    msgs.iter().any(|m| m.contains("op count drift")),
+                    "{msgs:?}"
+                );
+            }
+            other => panic!("perturbed check must fail, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_baseline_fails_with_bless_hint() {
+        let dir = tmpdir("missing");
+        let cfg = PerfConfig {
+            n: 175,
+            ..tiny(&dir)
+        };
+        let (verdict, _) = check_cell(&cfg);
+        match verdict {
+            PerfVerdict::Fail(msgs) => {
+                assert!(msgs[0].contains("--bless"), "{msgs:?}");
+            }
+            other => panic!("missing baseline must fail, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coordinate_mismatch_is_a_config_error() {
+        let dir = tmpdir("coords");
+        let cfg = tiny(&dir);
+        let m = measure(&cfg);
+        let doc = baseline_json(&cfg, &m);
+        let other = PerfConfig { seed: 8, ..tiny(&dir) };
+        match compare(&other, &m, &doc) {
+            PerfVerdict::ConfigError(msg) => assert!(msg.contains("seed"), "{msg}"),
+            v => panic!("seed mismatch must be a config error, got {v:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn baseline_document_is_flat_and_versioned() {
+        let dir = tmpdir("doc");
+        let cfg = tiny(&dir);
+        let m = measure(&cfg);
+        let doc = baseline_json(&cfg, &m);
+        assert!(doc.starts_with("{\n  \"schema_version\": "));
+        for name in OpCounts::field_names() {
+            assert!(json_u64(&doc, name).is_some(), "missing {name}");
+        }
+        assert_eq!(json_u64_array(&doc, "phase_grand_totals").unwrap().len(), 3);
+        assert_eq!(json_str(&doc, "scenario"), Some("BASELINE"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perturb_is_deterministic() {
+        let mut a = OpCounts::default();
+        let mut b = OpCounts::default();
+        perturb_ops(&mut a, 3);
+        perturb_ops(&mut b, 3);
+        assert_eq!(a, b);
+        assert!(a.grand_total() > 0, "perturbation must change something");
+        let mut c = OpCounts::default();
+        perturb_ops(&mut c, 4);
+        assert_ne!(a, c, "different seeds should differ (almost surely)");
+    }
+}

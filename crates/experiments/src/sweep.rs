@@ -23,10 +23,10 @@ use std::sync::Arc;
 
 use bgpscale_bgp::{BgpConfig, MraiMode};
 use bgpscale_core::{
-    run_experiment_jobs, run_experiment_observed_with, ChurnReport, ExperimentConfig,
+    run_experiment_observed_with, run_experiment_with_cost, ChurnReport, ExperimentConfig,
     ObserveOptions, ObservedReport,
 };
-use bgpscale_obs::{MetricsRegistry, TimeSeries, TraceRecord};
+use bgpscale_obs::{CostModel, MetricsRegistry, TimeSeries, TraceRecord};
 use bgpscale_simkernel::pool::run_indexed;
 use bgpscale_topology::GrowthScenario;
 
@@ -126,6 +126,9 @@ pub struct CellSeries {
 pub struct Sweeper {
     cfg: RunConfig,
     cache: BTreeMap<CellKey, Arc<ChurnReport>>,
+    /// Per-cell exact op-count models, cached alongside the reports
+    /// (always collected — the counters are free-running integers).
+    costs: BTreeMap<CellKey, Arc<CostModel>>,
     /// Observer called before each uncached cell runs (progress logging).
     progress: Option<ProgressFn>,
     /// Worker budget per sweep call; 1 = fully sequential.
@@ -150,6 +153,7 @@ impl Sweeper {
         Sweeper {
             cfg,
             cache: BTreeMap::new(),
+            costs: BTreeMap::new(),
             progress: None,
             jobs: 1,
             telemetry: Telemetry::default(),
@@ -196,13 +200,24 @@ impl Sweeper {
         std::mem::take(&mut self.series)
     }
 
-    /// Runs one uncached cell, folding telemetry if enabled.
+    /// Runs one uncached cell, folding telemetry if enabled. The cell's
+    /// cost model is always captured into the cost cache.
     fn compute_cell(&mut self, cfg: &ExperimentConfig) -> Arc<ChurnReport> {
         if self.telemetry.enabled {
             let observed = run_experiment_observed_with(cfg, self.jobs, &self.telemetry.options());
             self.fold_telemetry(cfg, observed)
         } else {
-            Arc::new(run_experiment_jobs(cfg, self.jobs))
+            let (report, cost) = run_experiment_with_cost(cfg, self.jobs);
+            self.costs.insert(Self::cost_key(cfg), Arc::new(cost));
+            Arc::new(report)
+        }
+    }
+
+    fn cost_key(cfg: &ExperimentConfig) -> CellKey {
+        CellKey {
+            scenario: cfg.scenario,
+            n: cfg.n,
+            mode: cfg.bgp.mrai_mode,
         }
     }
 
@@ -217,7 +232,21 @@ impl Sweeper {
                 series,
             });
         }
+        self.costs.insert(Self::cost_key(cfg), Arc::new(observed.cost));
         Arc::new(observed.report)
+    }
+
+    /// The exact op-count model of a cell, if that cell has been computed
+    /// by this sweeper (cells served purely from the report cache of a
+    /// prior call still have one — costs are cached on first compute and
+    /// never evicted).
+    pub fn cost_model(
+        &self,
+        scenario: GrowthScenario,
+        n: usize,
+        mode: MraiMode,
+    ) -> Option<Arc<CostModel>> {
+        self.costs.get(&CellKey { scenario, n, mode }).map(Arc::clone)
     }
 
     /// Sets the worker budget: how many C-events / cells may be computed
@@ -351,14 +380,16 @@ impl Sweeper {
                     self.cache.insert(CellKey { scenario, n, mode }, report);
                 }
             } else {
-                let reports = run_indexed(outer, configs.len(), |i| {
+                let results = run_indexed(outer, configs.len(), |i| {
                     if let Some(cb) = &progress {
                         cb(scenario, configs[i].n, mode);
                     }
-                    Arc::new(run_experiment_jobs(&configs[i], inner))
+                    let (report, cost) = run_experiment_with_cost(&configs[i], inner);
+                    (Arc::new(report), Arc::new(cost))
                 });
-                for (&n, report) in uncached.iter().zip(reports) {
+                for (&n, (report, cost)) in uncached.iter().zip(results) {
                     self.cache.insert(CellKey { scenario, n, mode }, report);
+                    self.costs.insert(CellKey { scenario, n, mode }, cost);
                 }
             }
         }
@@ -510,6 +541,39 @@ mod tests {
             assert_eq!(cell.series.events, 2);
         }
         assert!(s.take_series().is_empty(), "take_series drains");
+    }
+
+    #[test]
+    fn cost_models_are_cached_and_jobs_independent() {
+        let cfg = RunConfig {
+            sizes: vec![150, 200],
+            events: 2,
+            seed: 7,
+        };
+        let mut seq = Sweeper::new(cfg.clone());
+        let mut par = Sweeper::new(cfg.clone()).with_jobs(8);
+        let mut obs = Sweeper::new(cfg);
+        obs.enable_telemetry(None);
+        seq.sweep(GrowthScenario::Baseline);
+        par.sweep(GrowthScenario::Baseline);
+        obs.sweep(GrowthScenario::Baseline);
+        for n in [150usize, 200] {
+            let a = seq
+                .cost_model(GrowthScenario::Baseline, n, MraiMode::NoWrate)
+                .expect("plain sweep collects costs");
+            let b = par
+                .cost_model(GrowthScenario::Baseline, n, MraiMode::NoWrate)
+                .expect("parallel sweep collects costs");
+            let c = obs
+                .cost_model(GrowthScenario::Baseline, n, MraiMode::NoWrate)
+                .expect("observed sweep collects costs");
+            assert_eq!(a.to_json(), b.to_json(), "cost diverged at n={n} under jobs=8");
+            assert_eq!(a.to_json(), c.to_json(), "cost diverged at n={n} under telemetry");
+            assert!(a.total().grand_total() > 0);
+        }
+        assert!(seq
+            .cost_model(GrowthScenario::Baseline, 999, MraiMode::NoWrate)
+            .is_none());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod costmodel;
 pub mod logging;
 pub mod metrics;
 pub mod observer;
@@ -47,6 +48,13 @@ pub mod span;
 pub mod timeseries;
 pub mod trace;
 
+/// Schema version stamped into every JSON artifact the workspace writes
+/// (`metrics.json`, `timeseries.json`, `costmodel.json`,
+/// `BENCH_harness.json`, perf baselines). Bump when a writer changes its
+/// key layout incompatibly; readers reject mismatches.
+pub const SCHEMA_VERSION: u32 = 1;
+
+pub use costmodel::{CostModel, OpCounts, PhaseCosts, PHASES, PHASE_NAMES};
 pub use logging::Level;
 pub use metrics::{Gauge, Histogram, MetricsRegistry};
 pub use observer::{EventKind, NoopObserver, SimObserver, UpdateClass};

@@ -264,10 +264,15 @@ impl MetricsRegistry {
     }
 
     /// Serializes to pretty JSON with fully deterministic bytes: BTreeMap
-    /// key order, integer values only, fixed indentation.
+    /// key order, integer values only, fixed indentation. Stamped with the
+    /// workspace-wide [`crate::SCHEMA_VERSION`].
     pub fn to_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"counters\": {");
+        let _ = write!(
+            s,
+            "{{\n  \"schema_version\": {},\n  \"counters\": {{",
+            crate::SCHEMA_VERSION
+        );
         for (i, (k, v)) in self.counters.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(s, "{sep}\n    \"{k}\": {v}");
@@ -446,5 +451,6 @@ mod tests {
         assert!(r.is_empty());
         let j = r.to_json();
         assert!(j.contains("\"counters\": {}"));
+        assert!(j.starts_with("{\n  \"schema_version\": "));
     }
 }

@@ -31,16 +31,24 @@
 //! assert_eq!(t, SimTime::from_micros(10_000));
 //! ```
 
-#![forbid(unsafe_code)]
+// The counting global allocator (`alloc-count` feature) is the one place
+// in the workspace that needs `unsafe` (the `GlobalAlloc` trait); every
+// other configuration keeps the crate-wide forbid.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
 
+pub mod alloc;
 pub mod pool;
 pub mod queue;
 pub mod rng;
+pub mod rss;
 pub mod time;
 pub mod wallclock; // detlint::allow(wall-clock, reason = "declares the one sanctioned wall-clock module; the module itself is exempt in detlint.toml")
 
+pub use alloc::AllocSnapshot;
 pub use pool::{effective_jobs, run_indexed};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueOpCounts};
 pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use rss::peak_rss_bytes;
 pub use time::{SimDuration, SimTime};
 pub use wallclock::Stopwatch; // detlint::allow(wall-clock, reason = "re-export of the sanctioned Stopwatch so callers need no extra path")

@@ -1,7 +1,7 @@
-//! A deterministic discrete-event queue.
+//! A deterministic discrete-event queue with exact operation counting.
 //!
-//! A thin wrapper around [`std::collections::BinaryHeap`] with two
-//! guarantees the simulator depends on:
+//! A hand-rolled binary min-heap (array layout, `(time, seq)` keys) with
+//! three guarantees the simulator depends on:
 //!
 //! 1. **Monotonic delivery** — events pop in non-decreasing time order, and
 //!    scheduling an event in the past (before the last popped time) is a
@@ -10,9 +10,17 @@
 //!    pop in the order they were scheduled (FIFO), via a monotonically
 //!    increasing sequence number. Binary heaps are otherwise unstable, which
 //!    would make runs irreproducible.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! 3. **Exact operation counts** — every push, pop, key comparison and
+//!    sift move is tallied in [`QueueOpCounts`]. Because delivery order is
+//!    a total order over `(time, seq)`, these counts are a pure function
+//!    of the schedule/pop trace: bit-identical across worker counts and
+//!    machines, and therefore usable as CI perf-regression gates
+//!    (see `obs::costmodel`).
+//!
+//! The heap is implemented directly on a `Vec` (instead of wrapping
+//! `std::collections::BinaryHeap`) so the comparison and sift-move counts
+//! are under our control rather than at the mercy of the standard
+//! library's internal heapify strategy changing between toolchains.
 
 use crate::time::SimTime;
 
@@ -24,21 +32,27 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
+
+/// Exact counts of the queue's heap operations. All fields are monotone
+/// `u64` tallies over the queue's lifetime (they survive [`EventQueue::reset`],
+/// like the sequence counter, so phase-boundary snapshots can be diffed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueOpCounts {
+    /// Events scheduled (heap insertions).
+    pub pushes: u64,
+    /// Events popped (heap removals).
+    pub pops: u64,
+    /// Element moves during sift-up/sift-down — the "decrease-key"-class
+    /// restructuring work of the priority queue.
+    pub decreases: u64,
+    /// `(time, seq)` key comparisons.
+    pub comparisons: u64,
 }
 
 /// A future-event list keyed by simulated time.
@@ -46,12 +60,13 @@ impl<E> Ord for Entry<E> {
 /// `E` is the caller's event payload; the queue is agnostic to it.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    heap: Vec<Entry<E>>,
     next_seq: u64,
     /// Time of the most recently popped event; new events may not be
     /// scheduled before it.
     now: SimTime,
     popped: u64,
+    ops: QueueOpCounts,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -64,20 +79,22 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            ops: QueueOpCounts::default(),
         }
     }
 
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            heap: Vec::with_capacity(cap),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            ops: QueueOpCounts::default(),
         }
     }
 
@@ -102,6 +119,13 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Exact heap-operation tallies since the queue was created. Monotone:
+    /// [`EventQueue::reset`] does *not* clear them, so snapshots taken at
+    /// phase boundaries can be subtracted to attribute work per phase.
+    pub fn op_counts(&self) -> QueueOpCounts {
+        self.ops
+    }
+
     /// Schedules `event` at absolute time `time`.
     ///
     /// # Panics
@@ -115,22 +139,33 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.heap.push(Entry { time, seq, event });
+        self.ops.pushes += 1;
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     /// Returns `None` when the simulation has quiesced.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(entry) = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("checked non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
         debug_assert!(entry.time >= self.now, "heap returned a past event");
         self.now = entry.time;
         self.popped += 1;
+        self.ops.pops += 1;
         Some((entry.time, entry.event))
     }
 
     /// The timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.heap.first().map(|e| e.time)
     }
 
     /// Iterates over the pending events in **unspecified order** (heap
@@ -138,16 +173,60 @@ impl<E> EventQueue<E> {
     /// pending events per kind for an error snapshot — where only
     /// order-insensitive aggregation is sound.
     pub fn iter_pending(&self) -> impl Iterator<Item = (SimTime, &E)> {
-        self.heap.iter().map(|Reverse(e)| (e.time, &e.event))
+        self.heap.iter().map(|e| (e.time, &e.event))
     }
 
-    /// Removes all pending events and resets the clock and counters.
-    /// (Sequence numbering is *not* reset mid-run; a fresh queue should be
-    /// used for a fresh run — this is for reusing allocations.)
+    /// Removes all pending events and resets the clock and the `popped`
+    /// counter. (Sequence numbering and [`QueueOpCounts`] are *not* reset
+    /// mid-run; a fresh queue should be used for a fresh run — this is for
+    /// reusing allocations.)
     pub fn reset(&mut self) {
         self.heap.clear();
         self.now = SimTime::ZERO;
         self.popped = 0;
+    }
+
+    /// Restores the heap invariant upward from `idx` after a push.
+    fn sift_up(&mut self, mut idx: usize) {
+        while idx > 0 {
+            let parent = (idx - 1) / 2;
+            self.ops.comparisons += 1;
+            if self.heap[idx].key() < self.heap[parent].key() {
+                self.heap.swap(idx, parent);
+                self.ops.decreases += 1;
+                idx = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restores the heap invariant downward from `idx` after a pop.
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * idx + 1;
+            let right = left + 1;
+            let mut smallest = idx;
+            if left < len {
+                self.ops.comparisons += 1;
+                if self.heap[left].key() < self.heap[smallest].key() {
+                    smallest = left;
+                }
+            }
+            if right < len {
+                self.ops.comparisons += 1;
+                if self.heap[right].key() < self.heap[smallest].key() {
+                    smallest = right;
+                }
+            }
+            if smallest == idx {
+                break;
+            }
+            self.heap.swap(idx, smallest);
+            self.ops.decreases += 1;
+            idx = smallest;
+        }
     }
 }
 
@@ -281,5 +360,49 @@ mod tests {
             assert!(t >= last);
             last = t;
         }
+    }
+
+    #[test]
+    fn op_counts_track_pushes_and_pops_exactly() {
+        let mut q = EventQueue::new();
+        for i in 0..50u64 {
+            q.schedule(SimTime::from_micros(100 - i), i);
+        }
+        for _ in 0..20 {
+            q.pop();
+        }
+        let ops = q.op_counts();
+        assert_eq!(ops.pushes, 50);
+        assert_eq!(ops.pops, 20);
+        assert_eq!(ops.pushes, ops.pops + q.len() as u64, "conservation");
+        assert!(ops.comparisons > 0, "heap work was counted");
+    }
+
+    #[test]
+    fn op_counts_survive_reset() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.pop();
+        let before = q.op_counts();
+        q.reset();
+        assert_eq!(q.op_counts(), before, "op tallies are monotone");
+    }
+
+    #[test]
+    fn op_counts_are_a_pure_function_of_the_trace() {
+        use crate::rng::{Rng, Xoshiro256StarStar};
+        let run = || {
+            let mut g = Xoshiro256StarStar::new(42);
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(q.now() + SimDuration::from_micros(g.next_below(10_000)), i);
+                if i % 3 == 0 {
+                    q.pop();
+                }
+            }
+            while q.pop().is_some() {}
+            q.op_counts()
+        };
+        assert_eq!(run(), run());
     }
 }

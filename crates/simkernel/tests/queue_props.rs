@@ -1,0 +1,95 @@
+//! Property-based tests for the counting event queue: delivery order
+//! against a sorted oracle, and conservation of the op counters.
+
+use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
+use bgpscale_simkernel::{EventQueue, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The pop sequence equals a stable sort of the scheduled
+    /// `(time, insertion index)` pairs — the heap is just a lazy sorter.
+    #[test]
+    fn pop_order_matches_sorted_oracle(times in prop::collection::vec(0u64..500, 1..250)) {
+        let mut q = EventQueue::new();
+        let mut oracle: Vec<(SimTime, usize)> = Vec::with_capacity(times.len());
+        for (idx, &t) in times.iter().enumerate() {
+            let time = SimTime::from_micros(t);
+            q.schedule(time, idx);
+            oracle.push((time, idx));
+        }
+        // Stable by time; insertion index breaks ties, matching FIFO.
+        oracle.sort_by_key(|&(time, idx)| (time, idx));
+        let mut popped = Vec::with_capacity(oracle.len());
+        while let Some(entry) = q.pop() {
+            popped.push(entry);
+        }
+        prop_assert_eq!(popped, oracle);
+    }
+
+    /// Conservation: on a queue that is only pushed and popped,
+    /// `pushes == pops + remaining` at every point in the workload.
+    #[test]
+    fn op_counters_are_conserved(
+        seed in any::<u64>(),
+        script in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut g = Xoshiro256StarStar::new(seed);
+        let mut q = EventQueue::new();
+        for do_pop in script {
+            if do_pop {
+                let _ = q.pop();
+            } else {
+                q.schedule(q.now() + SimDuration::from_micros(g.next_below(1_000)), ());
+            }
+            let ops = q.op_counts();
+            prop_assert_eq!(
+                ops.pushes,
+                ops.pops + q.len() as u64,
+                "pushes {} != pops {} + remaining {}",
+                ops.pushes,
+                ops.pops,
+                q.len()
+            );
+        }
+    }
+
+    /// Comparison and sift-move counts are deterministic: replaying the
+    /// same seeded workload yields identical tallies.
+    #[test]
+    fn op_counters_replay_identically(seed in any::<u64>(), n in 1usize..400) {
+        let run = |seed: u64, n: usize| {
+            let mut g = Xoshiro256StarStar::new(seed);
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule(q.now() + SimDuration::from_micros(g.next_below(5_000)), i);
+                if g.next_below(4) == 0 {
+                    let _ = q.pop();
+                }
+            }
+            while q.pop().is_some() {}
+            q.op_counts()
+        };
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+
+    /// The sift work is real but bounded: a heap of n elements does at
+    /// most ~2·n·log2(n)+n comparisons over a full push/pop cycle.
+    #[test]
+    fn comparison_count_is_loglinear(times in prop::collection::vec(0u64..10_000, 2..500)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_micros(t), ());
+        }
+        while q.pop().is_some() {}
+        let ops = q.op_counts();
+        let n = times.len() as u64;
+        let log2n = 64 - n.leading_zeros() as u64;
+        let bound = 4 * n * (log2n + 1);
+        prop_assert!(
+            ops.comparisons <= bound,
+            "comparisons {} exceed 4·n·(log2(n)+1) = {bound} for n = {n}",
+            ops.comparisons
+        );
+        prop_assert!(ops.decreases <= ops.comparisons, "every sift move was paid for by a comparison");
+    }
+}

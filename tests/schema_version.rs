@@ -1,0 +1,79 @@
+//! Every versioned artifact writer stamps the shared `schema_version`.
+//!
+//! The constant lives in exactly one place — [`bgpscale_obs::SCHEMA_VERSION`] —
+//! and four writers embed it: `metrics.json` (`MetricsRegistry::to_json`),
+//! `costmodel.json` (`CostModel::to_json`), `timeseries.json` (the
+//! `repro report` wrapper), `BENCH_harness.json` (`bench::render_json`),
+//! and the perf baselines (`perf::baseline_json`). A writer that forgets
+//! the stamp (or stamps a different number) fails here before it can ship
+//! an unversioned artifact.
+
+use bgpscale_experiments::htmlreport::{run_report, ReportConfig};
+use bgpscale_experiments::perf::{baseline_json, measure, PerfConfig};
+use bgpscale_experiments::{bench, RunConfig};
+use bgpscale_obs::{CostModel, MetricsRegistry, OpCounts, SCHEMA_VERSION};
+use bgpscale_topology::GrowthScenario;
+
+/// `"schema_version": N` (or the compact `"schema_version":N`) appears in
+/// the document with the shared constant as its value.
+fn assert_stamped(doc: &str, what: &str) {
+    let spaced = format!("\"schema_version\": {SCHEMA_VERSION}");
+    let compact = format!("\"schema_version\":{SCHEMA_VERSION}");
+    assert!(
+        doc.contains(&spaced) || doc.contains(&compact),
+        "{what} is missing schema_version {SCHEMA_VERSION}: {}",
+        &doc[..doc.len().min(200)]
+    );
+}
+
+#[test]
+fn metrics_json_is_stamped() {
+    let mut m = MetricsRegistry::new();
+    m.inc("events.total", 3);
+    assert_stamped(&m.to_json(), "metrics.json");
+}
+
+#[test]
+fn costmodel_json_is_stamped() {
+    let mut c = CostModel::new();
+    c.push_event([OpCounts::default(); 3]);
+    assert_stamped(&c.to_json(), "costmodel.json");
+}
+
+#[test]
+fn timeseries_json_and_bench_json_are_stamped() {
+    // One tiny report covers the timeseries wrapper…
+    let report = run_report(&ReportConfig {
+        scenario: GrowthScenario::Baseline,
+        n: 150,
+        events: 2,
+        seed: 11,
+        jobs: 2,
+        bin_us: 100_000,
+    });
+    assert_stamped(&report.timeseries_json, "timeseries.json");
+
+    // …and one tiny bench covers BENCH_harness.json.
+    let cfg = RunConfig {
+        sizes: vec![150],
+        events: 2,
+        seed: 11,
+    };
+    let out = bench::run_bench(&cfg, &[1]);
+    assert_stamped(&bench::render_json(&cfg, &out, "testrev"), "BENCH_harness.json");
+}
+
+#[test]
+fn perf_baseline_is_stamped() {
+    let cfg = PerfConfig {
+        scenario: GrowthScenario::Baseline,
+        n: 150,
+        events: 2,
+        seed: 11,
+        jobs: 2,
+        baseline_dir: std::env::temp_dir(),
+        perturb: None,
+    };
+    let m = measure(&cfg);
+    assert_stamped(&baseline_json(&cfg, &m), "perf baseline");
+}
