@@ -149,6 +149,11 @@ pub struct BenchOutput {
     pub exponents: Vec<CostExponent>,
     /// Peak resident set size of this process (Linux `VmHWM`), bytes.
     pub peak_rss_bytes: Option<u64>,
+    /// The first run's per-cell cost models, `(n, model)` in sweep order —
+    /// deterministic, identical across runs (the cross-run assert holds
+    /// reports equal), kept so the run ledger can content-hash each
+    /// cell's `costmodel.json` without recomputing.
+    pub first_run_costs: Vec<(usize, Arc<CostModel>)>,
 }
 
 fn first_cell_config(cfg: &RunConfig) -> ExperimentConfig {
@@ -234,6 +239,7 @@ pub fn run_bench(cfg: &RunConfig, jobs_list: &[usize]) -> BenchOutput {
     let mut runs = Vec::new();
     let mut baseline_reports: Option<Vec<_>> = None;
     let mut exponents = Vec::new();
+    let mut first_run_costs = Vec::new();
     for &requested in jobs_list {
         let mut sw = Sweeper::new(cfg.clone());
         sw.set_jobs(requested);
@@ -270,13 +276,11 @@ pub fn run_bench(cfg: &RunConfig, jobs_list: &[usize]) -> BenchOutput {
         match &baseline_reports {
             None => {
                 baseline_reports = Some(cells.iter().map(|(_, r, _)| r.clone()).collect());
-                exponents = fit_cost_exponents(
-                    &cells
-                        .iter()
-                        .map(|(c, _, cost)| (c.n, Arc::clone(cost)))
-                        .collect::<Vec<_>>(),
-                    cfg.events,
-                );
+                first_run_costs = cells
+                    .iter()
+                    .map(|(c, _, cost)| (c.n, Arc::clone(cost)))
+                    .collect::<Vec<_>>();
+                exponents = fit_cost_exponents(&first_run_costs, cfg.events);
             }
             Some(first) => {
                 for ((_, r, _), f) in cells.iter().zip(first) {
@@ -306,6 +310,7 @@ pub fn run_bench(cfg: &RunConfig, jobs_list: &[usize]) -> BenchOutput {
         overhead,
         exponents,
         peak_rss_bytes: peak_rss_bytes(),
+        first_run_costs,
     }
 }
 

@@ -33,6 +33,21 @@
 //!                  self-contained HTML churn-provenance report plus a
 //!                  timeseries.json artifact (see --bin-us, --report-out,
 //!                  --timeseries-out, --check)
+//!   trend          fold the run ledger (every bench/perf/profile run
+//!                  appends one record to results/ledger/runs.jsonl)
+//!                  into per-config op-count series, scaling-exponent
+//!                  refits, and a self-contained trend.html dashboard:
+//!                    --check          gate: exit 1 on any op-count or
+//!                                     exponent regression vs history
+//!                    --window <k>     median over the last k entries
+//!                                     per fingerprint (default 5)
+//!                    --band <pct>     allowed op-count deviation from
+//!                                     that median (default 10)
+//!                    --exp-band <x>   allowed exponent drift between
+//!                                     consecutive revisions (default 0.25)
+//!                    --perturb <seed> corrupt the newest entries in
+//!                                     memory first (CI mutation gate)
+//!                    --trend-out <file>  HTML path (default trend.html)
 //!
 //! options:
 //!   --tiny         seconds-scale smoke run (n ≤ 900, 5 events). NOTE:
@@ -71,7 +86,14 @@
 //!   --timeseries-out <file> (report only) JSON path (default timeseries.json)
 //!   --check        (profile) exit non-zero if any expected phase span
 //!                  recorded nothing or no events were processed;
-//!                  (report) exit non-zero if any report panel is empty
+//!                  (report) exit non-zero if any report panel is empty;
+//!                  (trend) exit 1 on any regression finding
+//!   --ledger <file>  the append-only run ledger every bench/perf/profile
+//!                  run records into and `trend` reads (default
+//!                  results/ledger/runs.jsonl)
+//!   --no-ledger    don't append this run to the ledger
+//!   --ledger-rev <rev>  record this revision string instead of
+//!                  `git rev-parse HEAD` (tests, CI matrices)
 //!
 //! Set BGPSCALE_LOG=quiet|info|debug to control progress chatter on
 //! stderr (default info).
@@ -86,8 +108,9 @@
 
 use std::io::Write as _;
 
-use bgpscale_experiments::{bench, figures, htmlreport, perf, profile};
+use bgpscale_experiments::{bench, figures, htmlreport, perf, profile, trend};
 use bgpscale_experiments::{Figure, RunConfig, Sweeper};
+use bgpscale_obs::ledger::{append_records, read_ledger, LedgerError, LedgerRecord};
 use bgpscale_obs::{log, TraceRecord, TraceWriter};
 use bgpscale_simkernel::Stopwatch;
 use bgpscale_topology::GrowthScenario;
@@ -101,13 +124,15 @@ static ALLOC: bgpscale_simkernel::alloc::CountingAlloc =
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench|perf|profile|report> \
+        "usage: repro <table1|fig1|fig3|fig4|...|fig12|all|bench|perf|profile|report|trend> \
          [--tiny|--quick|--full] [--seed N] [--events K] [--sizes a,b,c] [--csv DIR] \
          [--jobs N] [--bench-jobs a,b,c] [--out FILE] \
          [--metrics-out FILE] [--trace-out FILE] [--trace-sample N] \
          [--scenario S] [--cell-n N] [--event-limit N] [--bin-us N] \
          [--report-out FILE] [--timeseries-out FILE] [--check] \
-         [--bless] [--perturb SEED] [--baseline-dir DIR] [--costmodel-out FILE]\n\
+         [--bless] [--perturb SEED] [--baseline-dir DIR] [--costmodel-out FILE] \
+         [--ledger FILE] [--no-ledger] [--ledger-rev REV] [--trend-out FILE] \
+         [--window K] [--band PCT] [--exp-band X]\n\
          exit codes: 0 = ok, 1 = failed run or --check, 2 = usage error \
          (same convention as detlint --check)"
     );
@@ -152,6 +177,14 @@ struct Options {
     baseline_dir: std::path::PathBuf,
     /// `perf`: also write the measured cost model here.
     costmodel_out: Option<std::path::PathBuf>,
+    /// The append-only run ledger; `None` disables recording.
+    ledger: Option<std::path::PathBuf>,
+    /// Revision string to record instead of `git rev-parse HEAD`.
+    ledger_rev: Option<String>,
+    /// `trend`: where to write the HTML dashboard.
+    trend_out: std::path::PathBuf,
+    /// `trend`: analysis knobs (`--window`, `--band`, `--exp-band`).
+    trend_opts: trend::TrendOptions,
 }
 
 fn parse_args() -> Options {
@@ -176,6 +209,10 @@ fn parse_args() -> Options {
     let mut perturb = None;
     let mut baseline_dir = std::path::PathBuf::from("results/perf-baselines");
     let mut costmodel_out = None;
+    let mut ledger = Some(std::path::PathBuf::from("results/ledger/runs.jsonl"));
+    let mut ledger_rev = None;
+    let mut trend_out = std::path::PathBuf::from("trend.html");
+    let mut trend_opts = trend::TrendOptions::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tiny" => cfg = RunConfig::tiny().with_seed(cfg.seed),
@@ -280,6 +317,43 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 costmodel_out = Some(std::path::PathBuf::from(v));
             }
+            "--ledger" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                ledger = Some(std::path::PathBuf::from(v));
+            }
+            "--no-ledger" => ledger = None,
+            "--ledger-rev" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                if v.is_empty() {
+                    usage();
+                }
+                ledger_rev = Some(v);
+            }
+            "--trend-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trend_out = std::path::PathBuf::from(v);
+            }
+            "--window" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trend_opts.window = v.parse().unwrap_or_else(|_| usage());
+                if trend_opts.window == 0 {
+                    usage();
+                }
+            }
+            "--band" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trend_opts.band_pct = v.parse().unwrap_or_else(|_| usage());
+                if !trend_opts.band_pct.is_finite() || trend_opts.band_pct < 0.0 {
+                    usage();
+                }
+            }
+            "--exp-band" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trend_opts.exp_band = v.parse().unwrap_or_else(|_| usage());
+                if !trend_opts.exp_band.is_finite() || trend_opts.exp_band < 0.0 {
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
@@ -304,6 +378,10 @@ fn parse_args() -> Options {
         perturb,
         baseline_dir,
         costmodel_out,
+        ledger,
+        ledger_rev,
+        trend_out,
+        trend_opts,
     }
 }
 
@@ -387,6 +465,7 @@ fn run_profile_target(opts: &Options) -> std::io::Result<bool> {
     if let Some(path) = &opts.trace_out {
         write_trace(path, &out.observed.trace)?;
     }
+    append_ledger(opts, &[trend::record_from_profile(&cfg, &out, &ledger_rev(opts))]);
     if opts.check {
         if let Err(reason) = profile::check(&out) {
             eprintln!("profile check FAILED: {reason}");
@@ -443,14 +522,93 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The revision recorded in ledger entries: `--ledger-rev` wins.
+fn ledger_rev(opts: &Options) -> String {
+    opts.ledger_rev.clone().unwrap_or_else(git_rev)
+}
+
+/// Appends this run's records to the ledger (a no-op under
+/// `--no-ledger`). A corrupt or schema-foreign ledger is a configuration
+/// problem (exit 2); a filesystem failure is a run failure (exit 1).
+fn append_ledger(opts: &Options, records: &[LedgerRecord]) {
+    let Some(path) = &opts.ledger else { return };
+    match append_records(path, records) {
+        Ok(outcome) => log!(
+            Info,
+            "ledger: {} record(s) appended to {} ({} deduped)",
+            outcome.appended,
+            path.display(),
+            outcome.deduped
+        ),
+        Err(e @ LedgerError::Io(_)) => {
+            eprintln!("ledger: {e}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("ledger: {e} (inspect or move {} aside)", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro trend`: fold the ledger into trends, write the dashboard, and
+/// optionally gate on regressions. Returns the process exit code.
+fn run_trend_target(opts: &Options) -> i32 {
+    let Some(path) = &opts.ledger else {
+        eprintln!("trend: --no-ledger leaves nothing to analyze");
+        return 2;
+    };
+    let mut records = match read_ledger(path) {
+        Ok(records) => records,
+        Err(e @ LedgerError::Io(_)) => {
+            eprintln!("trend: {e}");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("trend: {e} (inspect or move {} aside)", path.display());
+            return 2;
+        }
+    };
+    if records.is_empty() {
+        eprintln!(
+            "trend: ledger {} is empty — run `repro bench|perf|profile` first",
+            path.display()
+        );
+        return 2;
+    }
+    if let Some(seed) = opts.perturb {
+        trend::perturb_latest(&mut records, seed);
+    }
+    let report = trend::analyze(&records, &opts.trend_opts);
+    print!("{}", trend::render_text(&report));
+    let html = trend::render_html(&records, &report, &opts.trend_opts);
+    if let Err(e) = std::fs::write(&opts.trend_out, html) {
+        eprintln!("trend: writing {} failed: {e}", opts.trend_out.display());
+        return 1;
+    }
+    log!(Info, "trend: wrote {}", opts.trend_out.display());
+    if opts.check {
+        if !report.regressions.is_empty() {
+            eprintln!("trend check FAILED: {} regression(s)", report.regressions.len());
+            return 1;
+        }
+        log!(Info, "trend check passed");
+    }
+    0
+}
+
 /// `repro bench`: time the Baseline NO-WRATE sweep once per requested
 /// worker count and write `BENCH_harness.json` (measurement and JSON
 /// rendering live in [`bench`]).
-fn run_bench(cfg: &RunConfig, jobs_list: &[usize], out: &std::path::Path) -> std::io::Result<()> {
+fn run_bench(
+    cfg: &RunConfig,
+    jobs_list: &[usize],
+    out: &std::path::Path,
+) -> std::io::Result<bench::BenchOutput> {
     let measured = bench::run_bench(cfg, jobs_list);
     std::fs::write(out, bench::render_json(cfg, &measured, &git_rev()))?;
     log!(Info, "bench: wrote {}", out.display());
-    Ok(())
+    Ok(measured)
 }
 
 /// `repro perf`: check (or `--bless`) the exact op counts of every sweep
@@ -458,6 +616,8 @@ fn run_bench(cfg: &RunConfig, jobs_list: &[usize], out: &std::path::Path) -> std
 fn run_perf_target(opts: &Options) -> i32 {
     let jobs = bgpscale_simkernel::pool::effective_jobs(opts.jobs).max(1);
     let mut exit = 0i32;
+    let rev = ledger_rev(opts);
+    let mut records = Vec::new();
     for (i, &n) in opts.cfg.sizes.iter().enumerate() {
         let cfg = perf::PerfConfig {
             scenario: opts.profile_scenario,
@@ -503,6 +663,11 @@ fn run_perf_target(opts: &Options) -> i32 {
             }
             m
         };
+        // A `--perturb` run carries a deliberately corrupted counter —
+        // never let it into history.
+        if opts.perturb.is_none() {
+            records.push(trend::record_from_perf(&cfg, &measurement, &rev));
+        }
         if let Some(path) = &opts.costmodel_out {
             // One size writes the exact path; more sizes get a per-size
             // suffix so nothing is silently overwritten.
@@ -521,6 +686,9 @@ fn run_perf_target(opts: &Options) -> i32 {
         }
         let _ = i;
     }
+    if exit != 2 {
+        append_ledger(opts, &records);
+    }
     exit
 }
 
@@ -537,14 +705,23 @@ fn write_csv(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
 fn main() {
     let opts = parse_args();
     if opts.target == "bench" {
-        if let Err(e) = run_bench(&opts.cfg, &opts.bench_jobs, &opts.bench_out) {
-            eprintln!("bench failed: {e}");
-            std::process::exit(1);
+        match run_bench(&opts.cfg, &opts.bench_jobs, &opts.bench_out) {
+            Ok(measured) => {
+                let records = trend::records_from_bench(&opts.cfg, &measured, &ledger_rev(&opts));
+                append_ledger(&opts, &records);
+            }
+            Err(e) => {
+                eprintln!("bench failed: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }
     if opts.target == "perf" {
         std::process::exit(run_perf_target(&opts));
+    }
+    if opts.target == "trend" {
+        std::process::exit(run_trend_target(&opts));
     }
     if opts.target == "profile" || opts.target == "report" {
         let result = if opts.target == "profile" {
@@ -564,6 +741,7 @@ fn main() {
     let started = Stopwatch::start();
     let mut sw = Sweeper::new(opts.cfg.clone());
     sw.set_jobs(opts.jobs);
+    sw.enable_heartbeat();
     if opts.metrics_out.is_some() || opts.trace_out.is_some() {
         let sample = opts.trace_out.as_ref().map(|_| opts.trace_sample);
         sw.enable_telemetry(sample);

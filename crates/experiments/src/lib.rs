@@ -47,6 +47,7 @@ pub mod perf;
 pub mod profile;
 pub mod report;
 pub mod sweep;
+pub mod trend;
 
 pub use report::{Figure, Table};
 pub use sweep::{CellSeries, RunConfig, Sweeper};

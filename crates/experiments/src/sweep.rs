@@ -26,8 +26,9 @@ use bgpscale_core::{
     run_experiment_observed_with, run_experiment_with_cost, ChurnReport, ExperimentConfig,
     ObserveOptions, ObservedReport,
 };
-use bgpscale_obs::{CostModel, MetricsRegistry, TimeSeries, TraceRecord};
+use bgpscale_obs::{log, CostModel, MetricsRegistry, TimeSeries, TraceRecord};
 use bgpscale_simkernel::pool::run_indexed;
+use bgpscale_simkernel::Stopwatch;
 use bgpscale_topology::GrowthScenario;
 
 /// Sweep-wide settings: the sizes to visit and the per-cell event count.
@@ -144,6 +145,9 @@ pub struct Sweeper {
     /// Per-cell time series (when [`Sweeper::enable_timeseries`] is on),
     /// same ordering discipline as `metrics`.
     series: Vec<CellSeries>,
+    /// Emit a wall-side heartbeat line per completed sweep cell (see
+    /// [`Sweeper::enable_heartbeat`]).
+    heartbeat: bool,
 }
 
 impl Sweeper {
@@ -160,7 +164,40 @@ impl Sweeper {
             metrics: MetricsRegistry::new(),
             trace: Vec::new(),
             series: Vec::new(),
+            heartbeat: false,
         }
+    }
+
+    /// Turns on the wall-side sweep heartbeat: every [`Sweeper::sweep_mode`]
+    /// call logs one `obs::log!` info line per completed uncached cell —
+    /// cells-done/total within the call, elapsed wall time, and a simple
+    /// ETA (`elapsed / done · remaining`). Pure stderr chatter for long
+    /// runs: the lines are emitted on the owning thread at fold time and
+    /// never enter any deterministic artifact.
+    pub fn enable_heartbeat(&mut self) {
+        self.heartbeat = true;
+    }
+
+    fn heartbeat_line(
+        watch: &Option<Stopwatch>,
+        scenario: GrowthScenario,
+        n: usize,
+        mode: MraiMode,
+        done: usize,
+        total: usize,
+    ) {
+        let Some(watch) = watch else { return };
+        let elapsed = watch.elapsed_secs_f64();
+        let eta = if done > 0 && done < total {
+            elapsed / done as f64 * (total - done) as f64
+        } else {
+            0.0
+        };
+        log!(
+            Info,
+            "sweep: {done}/{total} cells done ({scenario} n={n} {}) elapsed {elapsed:.1}s eta {eta:.1}s",
+            mode.label()
+        );
     }
 
     /// Turns on telemetry collection: every *uncached* cell computed from
@@ -354,6 +391,11 @@ impl Sweeper {
             .copied()
             .filter(|&n| !self.cache.contains_key(&CellKey { scenario, n, mode }))
             .collect();
+        // Wall-side heartbeat bookkeeping for this call; see
+        // `enable_heartbeat`. Counted at fold time on the owning thread.
+        let hb_watch = self.heartbeat.then(Stopwatch::start);
+        let hb_total = uncached.len();
+        let mut hb_done = 0usize;
 
         // Split the budget: `inner` workers per cell (C-event fan-out),
         // and any leftover across cells.
@@ -378,6 +420,8 @@ impl Sweeper {
                 for ((&n, obs), cell_cfg) in uncached.iter().zip(observed).zip(&configs) {
                     let report = self.fold_telemetry(cell_cfg, obs);
                     self.cache.insert(CellKey { scenario, n, mode }, report);
+                    hb_done += 1;
+                    Self::heartbeat_line(&hb_watch, scenario, n, mode, hb_done, hb_total);
                 }
             } else {
                 let results = run_indexed(outer, configs.len(), |i| {
@@ -390,6 +434,8 @@ impl Sweeper {
                 for (&n, (report, cost)) in uncached.iter().zip(results) {
                     self.cache.insert(CellKey { scenario, n, mode }, report);
                     self.costs.insert(CellKey { scenario, n, mode }, cost);
+                    hb_done += 1;
+                    Self::heartbeat_line(&hb_watch, scenario, n, mode, hb_done, hb_total);
                 }
             }
         }
@@ -398,7 +444,15 @@ impl Sweeper {
             .sizes
             .clone()
             .into_iter()
-            .map(|n| self.report(scenario, n, mode))
+            .map(|n| {
+                let fresh = !self.cache.contains_key(&CellKey { scenario, n, mode });
+                let report = self.report(scenario, n, mode);
+                if fresh {
+                    hb_done += 1;
+                    Self::heartbeat_line(&hb_watch, scenario, n, mode, hb_done, hb_total);
+                }
+                report
+            })
             .collect()
     }
 

@@ -1,0 +1,712 @@
+//! The run ledger: append-only, cross-run performance history.
+//!
+//! Every `repro bench`, `repro perf`, and `repro profile` invocation
+//! appends one immutable, schema-versioned record per experiment cell to
+//! `results/ledger/runs.jsonl`. The ledger is the repo's own trend data:
+//! where the paper asks whether per-router workload stays sublinear as
+//! the topology grows, the ledger asks whether *our* per-event cost stays
+//! flat as the code grows — `repro trend` folds it into scaling-exponent
+//! refits and regression gates.
+//!
+//! ## Record anatomy
+//!
+//! Each record is one line of JSON with two clearly segregated tiers:
+//!
+//! * **`det` — deterministic fields.** Run kind, git rev, config
+//!   fingerprint, cell coordinates, exact [`OpCounts`], and content
+//!   hashes of the deterministic artifacts (`metrics.json`,
+//!   `timeseries.json`, `costmodel.json`). These are pure functions of
+//!   `(config, seed, code)` and therefore byte-identical across `--jobs`
+//!   — the same contract as every other deterministic writer, enforced by
+//!   the jobs-1/4/8 tests.
+//! * **`wall` — wall-side fields.** Wall time, worker count, peak RSS,
+//!   observer-overhead numbers. Machine- and scheduling-dependent by
+//!   definition; they never participate in hashing or dedup. All wall
+//!   fields are stored in integer units (microseconds, bytes,
+//!   centi-percent) because this file sits in the detlint
+//!   `[integer-only]` tier.
+//!
+//! The **config fingerprint** hashes `(scenario, n, mode, seed, events)`
+//! via the simkernel hash chain ([`hash64_bytes`] / [`hash64_pair`]).
+//! The worker count is deliberately *excluded*: results are
+//! jobs-invariant by the determinism contract, so `--jobs` belongs to
+//! the wall tier. `(fingerprint, git_rev)` keys the trend series.
+//!
+//! ## Append-only semantics
+//!
+//! [`append_records`] never rewrites or reorders existing lines. A record
+//! whose `(fingerprint, git_rev, det_hash)` triple already appears in the
+//! ledger is a re-run of identical work and is deduplicated (skipped)
+//! instead of double-appended; a record differing in *any* deterministic
+//! byte gets a fresh line. Readers ([`read_ledger`]) verify every line by
+//! canonical round-trip: parse, re-serialize, compare bytes — a corrupt
+//! or truncated trailing line is a hard [`LedgerError::Corrupt`], never
+//! silently skipped (surfaced as exit 2 by `repro trend`, the shared
+//! usage/config-error code).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use bgpscale_simkernel::rng::{hash64_bytes, hash64_pair};
+
+use crate::costmodel::OpCounts;
+use crate::SCHEMA_VERSION;
+
+/// Which subcommand produced a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RunKind {
+    /// `repro bench` — the wall-clock scaling sweep.
+    Bench,
+    /// `repro perf` — the exact op-count regression gate.
+    Perf,
+    /// `repro profile` — one observed cell with a phase profile.
+    Profile,
+}
+
+impl RunKind {
+    /// The serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunKind::Bench => "bench",
+            RunKind::Perf => "perf",
+            RunKind::Profile => "profile",
+        }
+    }
+
+    /// Parses a serialized name.
+    pub fn from_name(name: &str) -> Option<RunKind> {
+        match name {
+            "bench" => Some(RunKind::Bench),
+            "perf" => Some(RunKind::Perf),
+            "profile" => Some(RunKind::Profile),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Content hashes of the deterministic artifacts a run produced, when it
+/// produced them ([`hash64_bytes`] over the serialized bytes). Byte
+/// identity of an artifact across commits is checkable after the fact by
+/// comparing these 64-bit values — without storing the artifacts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArtifactHashes {
+    /// Hash of `metrics.json` bytes (`MetricsRegistry::to_json`).
+    pub metrics: Option<u64>,
+    /// Hash of `timeseries.json` bytes.
+    pub timeseries: Option<u64>,
+    /// Hash of `costmodel.json` bytes (`CostModel::to_json`).
+    pub costmodel: Option<u64>,
+}
+
+/// Wall-side measurements of one run. Integer units only: microseconds,
+/// bytes, and centi-percent (1 cpct = 0.01%), so this file satisfies the
+/// detlint `[integer-only]` tier while still carrying signed overhead
+/// readings. Never hashed, never deduplicated on, never deterministic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WallSide {
+    /// Wall time of the cell in microseconds.
+    pub wall_us: u64,
+    /// Effective worker count the run used.
+    pub jobs: u64,
+    /// Peak resident set size in bytes (`None` off-Linux).
+    pub peak_rss_bytes: Option<u64>,
+    /// Observer metrics-only overhead in centi-percent, unclamped (may be
+    /// negative: scheduling noise). `None` when the run measured none.
+    pub metrics_overhead_cpct: Option<i64>,
+    /// Observer full-trace overhead in centi-percent, unclamped.
+    pub trace_overhead_cpct: Option<i64>,
+}
+
+/// One ledger record: the deterministic identity and results of a run
+/// plus its wall-side context. See the module docs for the tier split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerRecord {
+    /// Which subcommand produced this record.
+    pub kind: RunKind,
+    /// Git revision of the producing tree (`"unknown"` outside a repo).
+    pub git_rev: String,
+    /// Growth-scenario name (e.g. `"BASELINE"`).
+    pub scenario: String,
+    /// Network size of the cell.
+    pub n: u64,
+    /// MRAI mode label (`"NO-WRATE"` / `"WRATE"`).
+    pub mode: String,
+    /// Master seed.
+    pub seed: u64,
+    /// C-events per cell.
+    pub events: u64,
+    /// Exact op counts of the cell (grand totals per class).
+    pub ops: OpCounts,
+    /// Content hashes of the deterministic artifacts.
+    pub artifacts: ArtifactHashes,
+    /// Wall-side measurements.
+    pub wall: WallSide,
+}
+
+impl LedgerRecord {
+    /// The config fingerprint: a stable hash of
+    /// `(scenario, n, mode, seed, events)` via the simkernel hash chain.
+    /// Worker count is excluded by design (results are jobs-invariant).
+    pub fn fingerprint(&self) -> u64 {
+        config_fingerprint(&self.scenario, self.n, &self.mode, self.seed, self.events)
+    }
+
+    /// The canonical deterministic block. Everything here is a pure
+    /// function of `(config, seed, code)`; byte-identical across `--jobs`.
+    pub fn det_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"kind\":\"{}\",\"git_rev\":\"{}\",\"fingerprint\":\"{:016x}\",\
+             \"scenario\":\"{}\",\"n\":{},\"mode\":\"{}\",\"seed\":{},\"events\":{},",
+            self.kind,
+            self.git_rev,
+            self.fingerprint(),
+            self.scenario,
+            self.n,
+            self.mode,
+            self.seed,
+            self.events
+        );
+        s.push_str("\"ops\":{");
+        for (i, (name, value)) in self.ops.fields().iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(s, "{sep}\"{name}\":{value}");
+        }
+        s.push_str("},\"artifacts\":{");
+        let _ = write!(
+            s,
+            "\"metrics\":{},\"timeseries\":{},\"costmodel\":{}",
+            opt_hex(self.artifacts.metrics),
+            opt_hex(self.artifacts.timeseries),
+            opt_hex(self.artifacts.costmodel)
+        );
+        s.push_str("}}");
+        s
+    }
+
+    /// Content hash of the deterministic block — the dedup key component
+    /// and the reader's integrity check.
+    pub fn det_hash(&self) -> u64 {
+        hash64_bytes(self.det_json().as_bytes())
+    }
+
+    /// Serializes the full record as one canonical JSON line (no trailing
+    /// newline). Parsing and re-serializing a valid line reproduces it
+    /// byte-for-byte; [`parse_line`] relies on that for integrity.
+    pub fn to_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema_version\":{},\"det\":{},\"det_hash\":\"{:016x}\",\"wall\":{{",
+            SCHEMA_VERSION,
+            self.det_json(),
+            self.det_hash()
+        );
+        let _ = write!(
+            s,
+            "\"wall_us\":{},\"jobs\":{},\"peak_rss_bytes\":{},\
+             \"metrics_overhead_cpct\":{},\"trace_overhead_cpct\":{}}}}}",
+            self.wall.wall_us,
+            self.wall.jobs,
+            opt_u64(self.wall.peak_rss_bytes),
+            opt_i64(self.wall.metrics_overhead_cpct),
+            opt_i64(self.wall.trace_overhead_cpct)
+        );
+        s
+    }
+}
+
+/// The stable config fingerprint; see [`LedgerRecord::fingerprint`].
+pub fn config_fingerprint(scenario: &str, n: u64, mode: &str, seed: u64, events: u64) -> u64 {
+    let mut h = hash64_bytes(scenario.as_bytes());
+    h = hash64_pair(h, n);
+    h = hash64_pair(h, hash64_bytes(mode.as_bytes()));
+    h = hash64_pair(h, seed);
+    hash64_pair(h, events)
+}
+
+fn opt_hex(v: Option<u64>) -> String {
+    match v {
+        Some(v) => format!("\"{v:016x}\""),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_i64(v: Option<i64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// What went wrong while reading or appending the ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LedgerError {
+    /// Filesystem failure (path and the io error's rendering).
+    Io(String),
+    /// A line failed to parse or round-trip — corruption or truncation.
+    /// `line` is 1-based.
+    Corrupt { line: usize, reason: String },
+    /// A line carries a schema version this reader does not understand.
+    Schema { line: usize, found: u64 },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(msg) => write!(f, "ledger io error: {msg}"),
+            LedgerError::Corrupt { line, reason } => {
+                write!(f, "ledger corrupt at line {line}: {reason}")
+            }
+            LedgerError::Schema { line, found } => write!(
+                f,
+                "ledger line {line} has schema_version {found}, this reader expects {SCHEMA_VERSION}"
+            ),
+        }
+    }
+}
+
+/// Extracts `"key":<unsigned integer>` from a compact JSON line.
+fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":<signed integer or null>`.
+fn json_opt_i64(doc: &str, key: &str) -> Option<Option<i64>> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    if rest.starts_with("null") {
+        return Some(None);
+    }
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().map(Some)
+}
+
+/// Extracts `"key":<unsigned integer or null>`.
+fn json_opt_u64(doc: &str, key: &str) -> Option<Option<u64>> {
+    match json_opt_i64(doc, key)? {
+        None => Some(None),
+        Some(v) if v >= 0 => Some(Some(v as u64)),
+        Some(_) => None,
+    }
+}
+
+/// Extracts `"key":"<string>"`.
+fn json_str<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let at = doc.find(&needle)? + needle.len();
+    doc[at..].split('"').next()
+}
+
+/// Extracts `"key":"<16 hex digits>"` or `"key":null`.
+fn json_opt_hex(doc: &str, key: &str) -> Option<Option<u64>> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    if rest.starts_with("null") {
+        return Some(None);
+    }
+    let hex = rest.strip_prefix('"')?.split('"').next()?;
+    u64::from_str_radix(hex, 16).ok().map(Some)
+}
+
+/// Parses one canonical ledger line back into a record.
+///
+/// # Errors
+/// [`LedgerError::Schema`] on a foreign schema version;
+/// [`LedgerError::Corrupt`] when a field is missing/malformed or when the
+/// parsed record does not re-serialize to the exact input bytes (which
+/// catches truncation and any in-place edit, including a det/wall value
+/// flip that individual field parses would miss).
+pub fn parse_line(line: &str, line_no: usize) -> Result<LedgerRecord, LedgerError> {
+    let corrupt = |reason: &str| LedgerError::Corrupt {
+        line: line_no,
+        reason: reason.to_string(),
+    };
+    let schema = json_u64(line, "schema_version").ok_or_else(|| corrupt("missing schema_version"))?;
+    if schema != u64::from(SCHEMA_VERSION) {
+        return Err(LedgerError::Schema {
+            line: line_no,
+            found: schema,
+        });
+    }
+    let kind = json_str(line, "kind")
+        .and_then(RunKind::from_name)
+        .ok_or_else(|| corrupt("missing or unknown kind"))?;
+    let git_rev = json_str(line, "git_rev")
+        .ok_or_else(|| corrupt("missing git_rev"))?
+        .to_string();
+    let scenario = json_str(line, "scenario")
+        .ok_or_else(|| corrupt("missing scenario"))?
+        .to_string();
+    let mode = json_str(line, "mode")
+        .ok_or_else(|| corrupt("missing mode"))?
+        .to_string();
+    let n = json_u64(line, "n").ok_or_else(|| corrupt("missing n"))?;
+    let seed = json_u64(line, "seed").ok_or_else(|| corrupt("missing seed"))?;
+    let events = json_u64(line, "events").ok_or_else(|| corrupt("missing events"))?;
+    let mut fields = OpCounts::default().fields();
+    for (name, value) in fields.iter_mut() {
+        *value = json_u64(line, name).ok_or_else(|| corrupt(&format!("missing op class {name}")))?;
+    }
+    let ops = OpCounts::from_fields(&fields);
+    let artifacts = ArtifactHashes {
+        metrics: json_opt_hex(line, "metrics").ok_or_else(|| corrupt("bad metrics hash"))?,
+        timeseries: json_opt_hex(line, "timeseries")
+            .ok_or_else(|| corrupt("bad timeseries hash"))?,
+        costmodel: json_opt_hex(line, "costmodel").ok_or_else(|| corrupt("bad costmodel hash"))?,
+    };
+    let wall = WallSide {
+        wall_us: json_u64(line, "wall_us").ok_or_else(|| corrupt("missing wall_us"))?,
+        jobs: json_u64(line, "jobs").ok_or_else(|| corrupt("missing jobs"))?,
+        peak_rss_bytes: json_opt_u64(line, "peak_rss_bytes")
+            .ok_or_else(|| corrupt("bad peak_rss_bytes"))?,
+        metrics_overhead_cpct: json_opt_i64(line, "metrics_overhead_cpct")
+            .ok_or_else(|| corrupt("bad metrics_overhead_cpct"))?,
+        trace_overhead_cpct: json_opt_i64(line, "trace_overhead_cpct")
+            .ok_or_else(|| corrupt("bad trace_overhead_cpct"))?,
+    };
+    let record = LedgerRecord {
+        kind,
+        git_rev,
+        scenario,
+        n,
+        mode,
+        seed,
+        events,
+        ops,
+        artifacts,
+        wall,
+    };
+    // Canonical round-trip: a healthy line re-serializes byte-for-byte
+    // (this also re-derives and thereby verifies det_hash and the
+    // fingerprint). Anything else is corruption or truncation.
+    if record.to_line() != line {
+        return Err(corrupt(
+            "record does not round-trip canonically (truncated or edited line)",
+        ));
+    }
+    Ok(record)
+}
+
+/// Reads and verifies the whole ledger. A missing file is an empty
+/// ledger; an unreadable or corrupt one is a hard error.
+///
+/// # Errors
+/// [`LedgerError::Io`] on filesystem failure, [`LedgerError::Corrupt`] /
+/// [`LedgerError::Schema`] from [`parse_line`] — including a truncated
+/// trailing line, which is reported (with its line number), not skipped.
+pub fn read_ledger(path: &Path) -> Result<Vec<LedgerRecord>, LedgerError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(LedgerError::Io(format!("{}: {e}", path.display()))),
+    };
+    parse_ledger(&text)
+}
+
+/// [`read_ledger`] on in-memory text (the testable core).
+///
+/// # Errors
+/// As [`read_ledger`], minus the io cases.
+pub fn parse_ledger(text: &str) -> Result<Vec<LedgerRecord>, LedgerError> {
+    let mut records = Vec::new();
+    let lines: Vec<&str> = text.split('\n').collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.is_empty() {
+            if i + 1 == lines.len() {
+                break; // the normal trailing newline
+            }
+            return Err(LedgerError::Corrupt {
+                line: i + 1,
+                reason: "empty line inside the ledger".to_string(),
+            });
+        }
+        records.push(parse_line(line, i + 1)?);
+    }
+    Ok(records)
+}
+
+/// The result of one [`append_records`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Records written as fresh lines.
+    pub appended: usize,
+    /// Records skipped because an identical `(fingerprint, git_rev,
+    /// det_hash)` line already exists — a re-run of identical work.
+    pub deduped: usize,
+}
+
+/// Appends `records` to the ledger at `path`, creating the file (and its
+/// parent directory) on first use. Existing lines are never rewritten.
+/// Records whose `(fingerprint, git_rev, det_hash)` already appears —
+/// in the file or earlier in `records` — are deduplicated.
+///
+/// # Errors
+/// Any [`LedgerError`] from reading the existing ledger (appending to a
+/// corrupt ledger would bury the corruption) or from the write itself.
+pub fn append_records(path: &Path, records: &[LedgerRecord]) -> Result<AppendOutcome, LedgerError> {
+    let existing = read_ledger(path)?;
+    let mut seen: BTreeSet<(u64, String, u64)> = existing
+        .iter()
+        .map(|r| (r.fingerprint(), r.git_rev.clone(), r.det_hash()))
+        .collect();
+    let mut outcome = AppendOutcome::default();
+    let mut block = String::new();
+    for record in records {
+        let key = (record.fingerprint(), record.git_rev.clone(), record.det_hash());
+        if seen.contains(&key) {
+            outcome.deduped += 1;
+            continue;
+        }
+        seen.insert(key);
+        block.push_str(&record.to_line());
+        block.push('\n');
+        outcome.appended += 1;
+    }
+    if outcome.appended == 0 {
+        return Ok(outcome);
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| LedgerError::Io(format!("{}: {e}", parent.display())))?;
+        }
+    }
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| LedgerError::Io(format!("{}: {e}", path.display())))?;
+    file.write_all(block.as_bytes())
+        .map_err(|e| LedgerError::Io(format!("{}: {e}", path.display())))?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64, rev: &str) -> LedgerRecord {
+        let ops = OpCounts {
+            queue_pushes: 100 * n,
+            deliveries: 10 * n,
+            decision_runs: 5 * n,
+            ..OpCounts::default()
+        };
+        LedgerRecord {
+            kind: RunKind::Bench,
+            git_rev: rev.to_string(),
+            scenario: "BASELINE".to_string(),
+            n,
+            mode: "NO-WRATE".to_string(),
+            seed: 7,
+            events: 5,
+            ops,
+            artifacts: ArtifactHashes {
+                metrics: Some(0xABCD),
+                timeseries: None,
+                costmodel: Some(0x1234_5678_9ABC_DEF0),
+            },
+            wall: WallSide {
+                wall_us: 1_234,
+                jobs: 4,
+                peak_rss_bytes: Some(20 << 20),
+                metrics_overhead_cpct: Some(-451),
+                trace_overhead_cpct: Some(2062),
+            },
+        }
+    }
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bgpscale_ledger_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("runs.jsonl")
+    }
+
+    #[test]
+    fn line_round_trips_exactly() {
+        let rec = sample(300, "deadbeef");
+        let line = rec.to_line();
+        assert!(line.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},\"det\":{{")));
+        assert!(!line.contains('\n'));
+        let parsed = parse_line(&line, 1).unwrap();
+        assert_eq!(parsed, rec);
+        assert_eq!(parsed.to_line(), line);
+    }
+
+    #[test]
+    fn fingerprint_covers_config_but_not_wall_side() {
+        let a = sample(300, "r1");
+        let mut b = a.clone();
+        b.wall.wall_us = 999_999;
+        b.wall.jobs = 8;
+        b.git_rev = "r2".to_string();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "wall side and rev excluded");
+        let mut c = a.clone();
+        c.n = 301;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = a.clone();
+        d.mode = "WRATE".to_string();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let mut e = a.clone();
+        e.seed = 8;
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn det_hash_ignores_wall_but_sees_every_det_field() {
+        let a = sample(300, "r1");
+        let mut b = a.clone();
+        b.wall.peak_rss_bytes = None;
+        assert_eq!(a.det_hash(), b.det_hash(), "wall side never hashed");
+        let mut c = a.clone();
+        c.ops.deliveries += 1;
+        assert_ne!(a.det_hash(), c.det_hash());
+        let mut d = a.clone();
+        d.artifacts.costmodel = Some(1);
+        assert_ne!(a.det_hash(), d.det_hash());
+        let mut e = a.clone();
+        e.git_rev = "r2".to_string();
+        assert_ne!(a.det_hash(), e.det_hash(), "rev is a det field");
+    }
+
+    #[test]
+    fn append_then_read_preserves_order_and_content() {
+        let path = tmpfile("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let recs = vec![sample(300, "r1"), sample(600, "r1")];
+        let out = append_records(&path, &recs).unwrap();
+        assert_eq!(out, AppendOutcome { appended: 2, deduped: 0 });
+        let more = vec![sample(300, "r2")];
+        append_records(&path, &more).unwrap();
+        let read = read_ledger(&path).unwrap();
+        assert_eq!(read.len(), 3);
+        assert_eq!(read[0], recs[0]);
+        assert_eq!(read[1], recs[1]);
+        assert_eq!(read[2], more[0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn identical_rerun_dedupes_instead_of_double_appending() {
+        let path = tmpfile("dedupe");
+        std::fs::remove_file(&path).ok();
+        let rec = sample(300, "r1");
+        append_records(&path, std::slice::from_ref(&rec)).unwrap();
+        // Same config + rev + results, different wall numbers: dedupe.
+        let mut rerun = rec.clone();
+        rerun.wall.wall_us = 777;
+        let out = append_records(&path, &[rerun]).unwrap();
+        assert_eq!(out, AppendOutcome { appended: 0, deduped: 1 });
+        // Same config + rev but drifted counts: a fresh line (the drift
+        // is exactly what the trend gate wants to see).
+        let mut drifted = rec.clone();
+        drifted.ops.deliveries += 1;
+        let out = append_records(&path, &[drifted]).unwrap();
+        assert_eq!(out, AppendOutcome { appended: 1, deduped: 0 });
+        // New rev, identical results: a fresh line keyed to that rev.
+        let mut newrev = rec.clone();
+        newrev.git_rev = "r2".to_string();
+        let out = append_records(&path, &[newrev]).unwrap();
+        assert_eq!(out, AppendOutcome { appended: 1, deduped: 0 });
+        assert_eq!(read_ledger(&path).unwrap().len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dedupe_also_applies_within_one_batch() {
+        let path = tmpfile("batch");
+        std::fs::remove_file(&path).ok();
+        let rec = sample(300, "r1");
+        let out = append_records(&path, &[rec.clone(), rec]).unwrap();
+        assert_eq!(out, AppendOutcome { appended: 1, deduped: 1 });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_reported_not_skipped() {
+        let a = sample(300, "r1").to_line();
+        let b = sample(600, "r1").to_line();
+        let mut text = format!("{a}\n{b}\n");
+        text.truncate(text.len() - 20); // chop the tail of line 2
+        match parse_ledger(&text) {
+            Err(LedgerError::Corrupt { line: 2, .. }) => {}
+            other => panic!("truncation must be Corrupt at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edited_line_fails_the_canonical_round_trip() {
+        let line = sample(300, "r1").to_line();
+        // Flip one op-count digit without touching structure.
+        let edited = line.replacen("\"queue_pushes\":30000", "\"queue_pushes\":30001", 1);
+        assert_ne!(line, edited, "test must actually edit the line");
+        match parse_line(&edited, 1) {
+            Err(LedgerError::Corrupt { .. }) => {}
+            other => panic!("edited line must be Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_schema_version_is_rejected() {
+        let line = sample(300, "r1").to_line();
+        let bumped = line.replacen(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+            1,
+        );
+        match parse_line(&bumped, 3) {
+            Err(LedgerError::Schema { line: 3, found: 999 }) => {}
+            other => panic!("foreign schema must be Schema, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty_and_blank_interior_line_is_corrupt() {
+        let path = tmpfile("missing");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read_ledger(&path).unwrap(), Vec::new());
+        let a = sample(300, "r1").to_line();
+        let text = format!("{a}\n\n{a}\n");
+        match parse_ledger(&text) {
+            Err(LedgerError::Corrupt { line: 2, .. }) => {}
+            other => panic!("blank interior line must be Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_render_with_position_and_advice() {
+        let e = LedgerError::Corrupt {
+            line: 7,
+            reason: "truncated".to_string(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let s = LedgerError::Schema { line: 1, found: 9 };
+        assert!(s.to_string().contains("schema_version 9"));
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod costmodel;
+pub mod ledger;
 pub mod logging;
 pub mod metrics;
 pub mod observer;
@@ -55,6 +56,10 @@ pub mod trace;
 pub const SCHEMA_VERSION: u32 = 1;
 
 pub use costmodel::{CostModel, OpCounts, PhaseCosts, PHASES, PHASE_NAMES};
+pub use ledger::{
+    append_records, config_fingerprint, read_ledger, AppendOutcome, ArtifactHashes, LedgerError,
+    LedgerRecord, RunKind, WallSide,
+};
 pub use logging::Level;
 pub use metrics::{Gauge, Histogram, MetricsRegistry};
 pub use observer::{EventKind, NoopObserver, SimObserver, UpdateClass};

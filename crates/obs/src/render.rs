@@ -147,6 +147,98 @@ pub fn svg_cdf(sorted_values: &[u64], width: u32, height: u32, color: &str) -> S
     )
 }
 
+/// One named series for [`svg_lines`]: `(x, y)` points in ascending-x
+/// order.
+pub struct LineSeries<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// `(x, y)` points, ascending in x.
+    pub points: &'a [(f64, f64)],
+}
+
+/// Fixed stroke palette for multi-series charts (cycled when exceeded),
+/// so colors are a pure function of series index.
+pub const SERIES_COLORS: [&str; 6] = ["#336", "#a33", "#383", "#a60", "#639", "#067"];
+
+/// An inline SVG multi-series line chart with a legend: one polyline per
+/// series, all sharing the axis ranges `[min x, max x] × [0, max y]`.
+/// Built for the trend dashboard's events/sec-vs-n and ops/event-vs-n
+/// panels, where each series is one ledger revision.
+pub fn svg_lines(series: &[LineSeries<'_>], width: u32, height: u32) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("<svg width=\"{width}\" height=\"{height}\" class=\"lines empty\"></svg>");
+    }
+    let x_min = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_max = all.iter().map(|p| p.1).fold(0.0, f64::max).max(1e-9);
+    let x_span = (x_max - x_min).max(1e-9);
+    let w = f64::from(width) - 2.0 * PAD;
+    let h = f64::from(height) - 2.0 * PAD;
+    let mut s = format!(
+        "<svg width=\"{width}\" height=\"{height}\" class=\"lines\" \
+         viewBox=\"0 0 {width} {height}\">"
+    );
+    for (si, ser) in series.iter().enumerate() {
+        if ser.points.is_empty() {
+            continue;
+        }
+        let color = SERIES_COLORS[si % SERIES_COLORS.len()];
+        let mut pts = String::new();
+        for (i, &(x, y)) in ser.points.iter().enumerate() {
+            if i > 0 {
+                pts.push(' ');
+            }
+            let px = PAD + w * (x - x_min) / x_span;
+            let py = PAD + h * (1.0 - y / y_max);
+            let _ = write!(pts, "{},{}", fmt1(px), fmt1(py));
+        }
+        let _ = write!(
+            s,
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.2\" points=\"{pts}\"/>"
+        );
+        // Dot the samples so single-point series stay visible.
+        for &(x, y) in ser.points {
+            let px = PAD + w * (x - x_min) / x_span;
+            let py = PAD + h * (1.0 - y / y_max);
+            let _ = write!(
+                s,
+                "<circle cx=\"{}\" cy=\"{}\" r=\"1.8\" fill=\"{color}\"/>",
+                fmt1(px),
+                fmt1(py)
+            );
+        }
+        let _ = write!(
+            s,
+            "<text x=\"{}\" y=\"{}\" font-size=\"9\" fill=\"{color}\">{}</text>",
+            fmt1(PAD + 4.0),
+            fmt1(PAD + 10.0 + 10.0 * si as f64),
+            html_escape(ser.label)
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// A plain HTML table: one `<th>` per header, one row of `<td>`s per
+/// entry in `rows`. Cells are escaped; layout comes from the page CSS.
+pub fn html_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::from("<table><tr>");
+    for head in headers {
+        let _ = write!(s, "<th>{}</th>", html_escape(head));
+    }
+    s.push_str("</tr>");
+    for row in rows {
+        s.push_str("<tr>");
+        for cell in row {
+            let _ = write!(s, "<td>{}</td>", html_escape(cell));
+        }
+        s.push_str("</tr>");
+    }
+    s.push_str("</table>");
+    s
+}
+
 /// Wraps a body in a complete standalone HTML page with inline CSS.
 pub fn html_page(title: &str, body: &str) -> String {
     format!(
@@ -200,6 +292,48 @@ mod tests {
         // Ends at the top-right corner (y = PAD), full CDF reached.
         assert!(s.contains("98.0,2.0"), "{s}");
         assert!(svg_cdf(&[], 100, 40, "x").contains("empty"));
+    }
+
+    #[test]
+    fn lines_render_one_polyline_and_legend_entry_per_series() {
+        let a = [(300.0, 10.0), (600.0, 8.0)];
+        let b = [(300.0, 6.0), (600.0, 7.0)];
+        let s = svg_lines(
+            &[
+                LineSeries { label: "rev-a", points: &a },
+                LineSeries { label: "rev-b", points: &b },
+            ],
+            120,
+            60,
+        );
+        assert_eq!(s.matches("<polyline").count(), 2);
+        assert_eq!(s.matches("<circle").count(), 4);
+        assert!(s.contains(">rev-a</text>") && s.contains(">rev-b</text>"));
+        assert_eq!(
+            s,
+            svg_lines(
+                &[
+                    LineSeries { label: "rev-a", points: &a },
+                    LineSeries { label: "rev-b", points: &b },
+                ],
+                120,
+                60,
+            ),
+            "deterministic output"
+        );
+        assert!(svg_lines(&[], 120, 60).contains("empty"));
+    }
+
+    #[test]
+    fn table_escapes_cells_and_keeps_row_shape() {
+        let t = html_table(
+            &["n", "ops<br>"],
+            &[vec!["300".to_string(), "1&2".to_string()]],
+        );
+        assert!(t.contains("<th>n</th>"));
+        assert!(t.contains("<th>ops&lt;br&gt;</th>"));
+        assert!(t.contains("<td>1&amp;2</td>"));
+        assert_eq!(t.matches("<tr>").count(), 2);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod wallclock; // detlint::allow(wall-clock, reason = "declares the one sanc
 pub use alloc::AllocSnapshot;
 pub use pool::{effective_jobs, run_indexed};
 pub use queue::{EventQueue, QueueOpCounts};
-pub use rng::{Rng, SplitMix64, Xoshiro256StarStar};
+pub use rng::{hash64_bytes, hash64_pair, Rng, SplitMix64, Xoshiro256StarStar};
 pub use rss::peak_rss_bytes;
 pub use time::{SimDuration, SimTime};
 pub use wallclock::Stopwatch; // detlint::allow(wall-clock, reason = "re-export of the sanctioned Stopwatch so callers need no extra path")

@@ -1,10 +1,11 @@
 //! Every versioned artifact writer stamps the shared `schema_version`.
 //!
 //! The constant lives in exactly one place — [`bgpscale_obs::SCHEMA_VERSION`] —
-//! and four writers embed it: `metrics.json` (`MetricsRegistry::to_json`),
+//! and the writers embed it: `metrics.json` (`MetricsRegistry::to_json`),
 //! `costmodel.json` (`CostModel::to_json`), `timeseries.json` (the
 //! `repro report` wrapper), `BENCH_harness.json` (`bench::render_json`),
-//! and the perf baselines (`perf::baseline_json`). A writer that forgets
+//! the perf baselines (`perf::baseline_json`), and every run-ledger line
+//! (`LedgerRecord::to_line`). A writer that forgets
 //! the stamp (or stamps a different number) fails here before it can ship
 //! an unversioned artifact.
 
@@ -61,6 +62,22 @@ fn timeseries_json_and_bench_json_are_stamped() {
     };
     let out = bench::run_bench(&cfg, &[1]);
     assert_stamped(&bench::render_json(&cfg, &out, "testrev"), "BENCH_harness.json");
+}
+
+#[test]
+fn ledger_line_is_stamped() {
+    let cfg = PerfConfig {
+        scenario: GrowthScenario::Baseline,
+        n: 150,
+        events: 2,
+        seed: 11,
+        jobs: 2,
+        baseline_dir: std::env::temp_dir(),
+        perturb: None,
+    };
+    let m = measure(&cfg);
+    let record = bgpscale_experiments::trend::record_from_perf(&cfg, &m, "testrev");
+    assert_stamped(&record.to_line(), "ledger line");
 }
 
 #[test]
