@@ -305,6 +305,7 @@ impl BgpNode {
     }
 
     /// True while `slot`'s MRAI timer is armed.
+    // detflow::allow(panic-surface, reason = "slot is a session index minted by this node's own slot_of map; out holds one queue per session by construction")
     pub fn timer_armed(&self, slot: u32) -> bool {
         self.out[slot as usize].timer_armed()
     }
@@ -367,6 +368,7 @@ impl BgpNode {
     ///
     /// # Panics
     /// Panics if `from` is not a configured neighbor.
+    // detflow::allow(panic-surface, reason = "non-neighbor senders are a documented panic (# Panics above); every rib_in/sessions index is the slot_of-minted slot, and the prefix entry is created earlier in this fn")
     pub fn handle_update_at(&mut self, from: AsId, update: Update, now: SimTime) -> Actions {
         let slot = *self
             .slot_of
@@ -567,6 +569,7 @@ impl BgpNode {
     /// Handles a per-interface MRAI expiry for `slot`, returning the
     /// flushed transmissions. The caller re-arms iff `arm_timers` is
     /// non-empty.
+    // detflow::allow(panic-surface, reason = "slot comes from this node's own armed-timer bookkeeping; out holds one queue per session by construction")
     pub fn mrai_expired(&mut self, slot: u32) -> Actions {
         let (updates, rearm) = self.out[slot as usize].flush(None);
         let mut actions = Actions::default();
@@ -582,6 +585,7 @@ impl BgpNode {
     /// Handles a per-prefix MRAI expiry for `(slot, prefix)` (only under
     /// [`MraiScope::PerPrefix`]). The caller re-arms iff
     /// `arm_prefix_timers` is non-empty.
+    // detflow::allow(panic-surface, reason = "slot comes from this node's own armed-timer bookkeeping; out holds one queue per session by construction")
     pub fn mrai_prefix_expired(&mut self, slot: u32, prefix: Prefix) -> Actions {
         let (updates, rearm) = self.out[slot as usize].flush(Some(prefix));
         let mut actions = Actions::default();
@@ -613,6 +617,7 @@ impl BgpNode {
     /// queue. Each submission is stamped with `cause` plus the sending
     /// edge's Gao–Rexford relation, so attribution survives MRAI
     /// coalescing downstream.
+    // detflow::allow(panic-surface, reason = "every caller creates the prefix entry before delegating here; slot indices enumerate sessions, and rib_in/out are sized to sessions.len() at session setup")
     fn reevaluate(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
         self.costs.decision_runs += 1;
         let st = self.prefixes.get_mut(&prefix).expect("state exists");

@@ -30,6 +30,7 @@ impl Timeline {
         }
     }
 
+    // detflow::allow(panic-surface, reason = "counts is resized to idx + 1 on the line before the index")
     fn record(&mut self, now: SimTime) {
         let idx = (now.saturating_since(self.origin).as_micros() / self.bin.as_micros()) as usize;
         if idx >= self.counts.len() {
@@ -105,6 +106,7 @@ impl ChurnCollector {
 
     /// Records one delivered update (called by the simulator).
     #[inline]
+    // detflow::allow(panic-surface, reason = "per_edge is sized one row per node and one slot per neighbor at construction, and the simulator only passes slot_of-minted slots")
     pub fn record(&mut self, to: AsId, slot: u32, is_withdrawal: bool, now: SimTime) {
         if self.enabled {
             self.per_edge[to.index()][slot as usize] += 1;

@@ -1,0 +1,286 @@
+//! `detflow.toml`: the analyzer's checked-in configuration.
+//!
+//! The file format is the same TOML subset as `detlint.toml` — the
+//! comment stripping and array parsing come from
+//! [`bgpscale_detlint::config`], so the two tools can never diverge on
+//! syntax — but the sections are detflow's own:
+//!
+//! ```toml
+//! [scan]
+//! include = ["crates", "src"]
+//! exclude = ["crates/vendor", "target"]
+//!
+//! [deterministic]
+//! # The tier map: must agree with detlint.toml (config-coherence).
+//! paths = ["crates/simkernel/src", "crates/core/src"]
+//!
+//! [wall-side]
+//! # Sanctioned wall-side modules: the deterministic closure must not
+//! # reach these except through an audited detflow::allow crossing.
+//! modules = ["simkernel::wallclock", "simkernel::rss"]
+//!
+//! [hot-paths]
+//! # Roots of the panic-surface pass, matched by qualified-name suffix.
+//! roots = ["core::cevent::run_c_event"]
+//!
+//! [artifact]
+//! stamp = "SCHEMA_VERSION"
+//! # Each entry is an alternation: one alternative must be mentioned in
+//! # the closure of every artifact-writing binary's main.
+//! exit-constants = ["EXIT_OK", "EXIT_VIOLATIONS|EXIT_FAIL", "EXIT_USAGE"]
+//!
+//! [coherence]
+//! detlint-config = "detlint.toml"
+//! clippy-config = "clippy.toml"
+//! clippy-required = ["std::collections::HashMap"]
+//!
+//! [resolve]
+//! # Method names resolved to *no* workspace impl on purpose (too
+//! # ambiguous to attribute); each entry should carry a comment saying
+//! # why.
+//! opaque-methods = []
+//! ```
+//!
+//! Unknown sections or keys are **errors** (exit 2), mirroring detlint:
+//! a typo can never silently disable a pass.
+
+use std::path::Path;
+
+use bgpscale_detlint::config::{parse_string_array, strip_toml_comment};
+
+/// Parsed `detflow.toml`.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Directories (relative to the root) to walk for `.rs` files.
+    pub include: Vec<String>,
+    /// Path prefixes to skip entirely.
+    pub exclude: Vec<String>,
+    /// Path prefixes holding deterministic-tier code; their `pub fn`s
+    /// are the entry points of the deterministic-closure pass.
+    pub deterministic: Vec<String>,
+    /// Module paths (`crate::module`) of sanctioned wall-side code.
+    pub wall_side: Vec<String>,
+    /// Qualified-name suffixes of the panic-surface roots.
+    pub hot_roots: Vec<String>,
+    /// The identifier every artifact writer must flow through.
+    pub stamp: String,
+    /// Exit-convention constants; each entry is a `|`-separated
+    /// alternation.
+    pub exit_constants: Vec<String>,
+    /// Path (relative to the root) of the detlint config to reconcile.
+    pub detlint_config: String,
+    /// Path (relative to the root) of the clippy config to reconcile.
+    pub clippy_config: String,
+    /// Paths that must appear (as quoted strings) in the clippy config.
+    pub clippy_required: Vec<String>,
+    /// Method names deliberately left unresolved by the call graph.
+    pub opaque_methods: Vec<String>,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            include: vec![".".to_string()],
+            exclude: Vec::new(),
+            deterministic: Vec::new(),
+            wall_side: Vec::new(),
+            hot_roots: Vec::new(),
+            stamp: "SCHEMA_VERSION".to_string(),
+            exit_constants: Vec::new(),
+            detlint_config: "detlint.toml".to_string(),
+            clippy_config: "clippy.toml".to_string(),
+            clippy_required: Vec::new(),
+            opaque_methods: Vec::new(),
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Reads and parses a config file.
+    pub fn load(path: &Path) -> Result<FlowConfig, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        FlowConfig::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses config text.
+    pub fn parse(text: &str) -> Result<FlowConfig, String> {
+        let mut cfg = FlowConfig::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated section header"))?;
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "scan" | "deterministic" | "wall-side" | "hot-paths" | "artifact"
+                    | "coherence" | "resolve" => {}
+                    other => return Err(format!("line {lineno}: unknown section [{other}]")),
+                }
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_toml_comment(cont).trim().to_string();
+                    value.push(' ');
+                    value.push_str(&cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+                if !value.ends_with(']') {
+                    return Err(format!("line {lineno}: unterminated array for `{key}`"));
+                }
+            }
+            cfg.apply(&section, &key, &value)
+                .map_err(|e| format!("line {lineno}: {e}"))?;
+        }
+        if cfg.include.is_empty() {
+            return Err("`[scan] include` must not be empty".to_string());
+        }
+        if cfg.stamp.is_empty() {
+            return Err("`[artifact] stamp` must not be empty".to_string());
+        }
+        Ok(cfg)
+    }
+
+    fn apply(&mut self, section: &str, key: &str, value: &str) -> Result<(), String> {
+        match (section, key) {
+            ("scan", "include") => self.include = parse_string_array(value)?,
+            ("scan", "exclude") => self.exclude = parse_string_array(value)?,
+            ("deterministic", "paths") => self.deterministic = parse_string_array(value)?,
+            ("wall-side", "modules") => self.wall_side = parse_string_array(value)?,
+            ("hot-paths", "roots") => self.hot_roots = parse_string_array(value)?,
+            ("artifact", "stamp") => self.stamp = parse_quoted(value)?,
+            ("artifact", "exit-constants") => self.exit_constants = parse_string_array(value)?,
+            ("coherence", "detlint-config") => self.detlint_config = parse_quoted(value)?,
+            ("coherence", "clippy-config") => self.clippy_config = parse_quoted(value)?,
+            ("coherence", "clippy-required") => self.clippy_required = parse_string_array(value)?,
+            ("resolve", "opaque-methods") => self.opaque_methods = parse_string_array(value)?,
+            ("", _) => return Err(format!("key `{key}` outside any section")),
+            (s, k) => return Err(format!("unknown key `{k}` in section [{s}]")),
+        }
+        Ok(())
+    }
+
+    /// True if `rel` lies under a deterministic-tier prefix.
+    pub fn is_deterministic(&self, rel: &str) -> bool {
+        bgpscale_detlint::config::Config::path_matches(rel, &self.deterministic)
+    }
+
+    /// True if the path is excluded from scanning.
+    pub fn is_excluded(&self, rel: &str) -> bool {
+        bgpscale_detlint::config::Config::path_matches(rel, &self.exclude)
+    }
+
+    /// True if a function with this qualified name lives in a sanctioned
+    /// wall-side module.
+    pub fn is_wall_side(&self, qname: &str) -> bool {
+        self.wall_side
+            .iter()
+            .any(|m| qname == m || qname.starts_with(&format!("{m}::")))
+    }
+
+    /// True if this qualified name is a panic-surface root.
+    pub fn is_hot_root(&self, qname: &str) -> bool {
+        self.hot_roots
+            .iter()
+            .any(|r| qname == r || qname.ends_with(&format!("::{r}")))
+    }
+
+    /// Every exit-constant alternative, flattened (for mention tracking).
+    pub fn exit_alternatives(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .exit_constants
+            .iter()
+            .flat_map(|g| g.split('|').map(|s| s.trim().to_string()))
+            .filter(|s| !s.is_empty())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Parses a single `"quoted string"` value.
+fn parse_quoted(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[scan]
+include = ["crates"]
+exclude = ["target"]
+
+[deterministic]
+paths = ["crates/core/src"]
+
+[wall-side]
+modules = ["simkernel::wallclock"]
+
+[hot-paths]
+roots = ["core::cevent::run_c_event", "EventQueue::push"]
+
+[artifact]
+stamp = "SCHEMA_VERSION"
+exit-constants = ["EXIT_OK", "EXIT_VIOLATIONS|EXIT_FAIL"]
+
+[coherence]
+detlint-config = "detlint.toml"
+clippy-config = "clippy.toml"
+clippy-required = ["std::collections::HashMap"]
+
+[resolve]
+opaque-methods = ["drop"]
+"#;
+
+    #[test]
+    fn parses_all_sections() {
+        let cfg = FlowConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.include, ["crates"]);
+        assert!(cfg.is_deterministic("crates/core/src/sim.rs"));
+        assert!(cfg.is_wall_side("simkernel::wallclock::Stopwatch::start"));
+        assert!(!cfg.is_wall_side("simkernel::wallclock_adjacent::f"));
+        assert!(cfg.is_hot_root("core::cevent::run_c_event"));
+        assert!(cfg.is_hot_root("simkernel::queue::EventQueue::push"));
+        assert!(!cfg.is_hot_root("simkernel::queue::EventQueue::push_back"));
+        assert_eq!(cfg.stamp, "SCHEMA_VERSION");
+        assert_eq!(
+            cfg.exit_alternatives(),
+            ["EXIT_FAIL", "EXIT_OK", "EXIT_VIOLATIONS"]
+        );
+        assert_eq!(cfg.opaque_methods, ["drop"]);
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        assert!(FlowConfig::parse("[scn]\ninclude = [\"x\"]").is_err());
+        assert!(FlowConfig::parse("[scan]\nincl = [\"x\"]").is_err());
+        assert!(FlowConfig::parse("[artifact]\nstamp = unquoted").is_err());
+        assert!(FlowConfig::parse("include = [\"before any section\"]").is_err());
+    }
+
+    #[test]
+    fn empty_stamp_is_rejected() {
+        assert!(FlowConfig::parse("[scan]\ninclude = [\"x\"]\n[artifact]\nstamp = \"\"").is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Fixture self-test: seeded-bad trees with `//~ rule` markers.
+//!
+//! Each immediate subdirectory of the fixtures root holding a
+//! `detflow.toml` is one **case**: a miniature workspace with its own
+//! configs. Expected findings are marked in-band —
+//!
+//! * `//~ rule-id` trailing a line in a `.rs` file,
+//! * `#~ rule-id` trailing a line in a `.toml` file (coherence findings
+//!   anchor in config files),
+//!
+//! and a marker line may list several space-separated rule ids. The
+//! self-test runs the full analyzer over each case and demands **exact
+//! (file, line, rule) set equality in both directions**: a rule that
+//! fails to fire where marked is a missed detection, a finding without
+//! a marker is a false positive, and either direction fails the run.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::FlowConfig;
+use crate::passes::analyze;
+use crate::Rule;
+
+/// One fixture case's outcome.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Subdirectory name.
+    pub name: String,
+    /// Markers present but not reported: missed detections.
+    pub missed: Vec<(String, usize, Rule)>,
+    /// Findings without a marker: false positives.
+    pub unexpected: Vec<(String, usize, Rule)>,
+    /// Total markers checked.
+    pub expected: usize,
+}
+
+impl CaseResult {
+    pub fn ok(&self) -> bool {
+        self.missed.is_empty() && self.unexpected.is_empty()
+    }
+}
+
+/// The whole self-test run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub cases: Vec<CaseResult>,
+    /// Total marker count across cases.
+    pub checked: usize,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        !self.cases.is_empty() && self.cases.iter().all(CaseResult::ok)
+    }
+}
+
+/// Runs every fixture case under `fixroot`.
+pub fn run(fixroot: &Path) -> Result<Report, String> {
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(fixroot)
+        .map_err(|e| format!("cannot read {}: {e}", fixroot.display()))?
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("walk error under {}: {e}", fixroot.display()))?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("detflow.toml").is_file())
+        .collect();
+    dirs.sort();
+    if dirs.is_empty() {
+        return Err(format!(
+            "no fixture cases (subdirectories with a detflow.toml) under {}",
+            fixroot.display()
+        ));
+    }
+    let mut report = Report::default();
+    for dir in dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        let cfg = FlowConfig::load(&dir.join("detflow.toml"))?;
+        let analysis = analyze(&dir, &cfg)?;
+        let mut got: Vec<(String, usize, Rule)> = analysis
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.clone(), d.line, d.rule))
+            .collect();
+        got.sort();
+        got.dedup();
+        let mut expected = collect_markers(&dir)?;
+        expected.sort();
+        expected.dedup();
+        let missed: Vec<_> = expected.iter().filter(|m| !got.contains(m)).cloned().collect();
+        let unexpected: Vec<_> = got.iter().filter(|g| !expected.contains(g)).cloned().collect();
+        report.checked += expected.len();
+        report.cases.push(CaseResult {
+            name,
+            missed,
+            unexpected,
+            expected: expected.len(),
+        });
+    }
+    Ok(report)
+}
+
+/// Collects `//~` / `#~` markers from every `.rs` and `.toml` file.
+fn collect_markers(dir: &Path) -> Result<Vec<(String, usize, Rule)>, String> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, usize, Rule)>) -> Result<(), String> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("walk error under {}: {e}", dir.display()))?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(root, &path, out)?;
+                continue;
+            }
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| "path outside fixture root".to_string())?
+                .to_string_lossy()
+                .replace('\\', "/");
+            let marker = if rel.ends_with(".rs") {
+                "//~"
+            } else if rel.ends_with(".toml") {
+                "#~"
+            } else {
+                continue;
+            };
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {rel}: {e}"))?;
+            for (idx, line) in text.lines().enumerate() {
+                let Some(pos) = line.find(marker) else {
+                    continue;
+                };
+                for id in line[pos + marker.len()..].split_whitespace() {
+                    let rule = Rule::from_id(id).ok_or_else(|| {
+                        format!("{rel}:{}: unknown rule `{id}` in fixture marker", idx + 1)
+                    })?;
+                    out.push((rel.clone(), idx + 1, rule));
+                }
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out)?;
+    Ok(out)
+}
+
+/// Renders the self-test outcome.
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    for case in &report.cases {
+        let verdict = if case.ok() { "ok" } else { "FAIL" };
+        out.push_str(&format!(
+            "fixture case `{}`: {} ({} marker(s))\n",
+            case.name, verdict, case.expected
+        ));
+        for (f, l, r) in &case.missed {
+            out.push_str(&format!("  MISSED: expected [{r}] at {f}:{l}\n"));
+        }
+        for (f, l, r) in &case.unexpected {
+            out.push_str(&format!("  FALSE POSITIVE: unexpected [{r}] at {f}:{l}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "detflow fixtures: {} ({} marker(s) across {} case(s))\n",
+        if report.ok() { "OK" } else { "FAIL" },
+        report.checked,
+        report.cases.len()
+    ));
+    out
+}

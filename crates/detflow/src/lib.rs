@@ -1,0 +1,136 @@
+//! # bgpscale-detflow
+//!
+//! The **call-graph determinism analyzer**: the second, reachability-
+//! aware tier of static checking in this workspace, layered over
+//! `bgpscale-detlint`'s line rules and sharing its lexer.
+//!
+//! detlint answers "does this *line* contain a hazard token in a
+//! deterministic file?". That leaves a blind spot the size of a function
+//! call: a deterministic crate can call a helper in a *non*-deterministic
+//! crate that reads the wall clock, and no line in the deterministic tier
+//! ever holds a banned token. detflow closes it by extracting a
+//! conservative item/call graph of the whole workspace and running four
+//! passes over it:
+//!
+//! | pass | guarantees |
+//! |------|------------|
+//! | `det-closure` | no call path from a deterministic-tier `pub fn` reaches a wall-side module (`simkernel::wallclock`/`rss`/`alloc`, `obs::span`) or external wall/env API, except through an audited crossing |
+//! | `panic-surface` | every function reachable from the hot-path roots (`run_c_event`, `handle_update_at`, the event-queue push/pop) is free of `unwrap`/`expect`/`panic!`/slice-indexing, or carries an audited invariant |
+//! | `artifact-contract` | every file-writing function flows through the `SCHEMA_VERSION` stamp, and every artifact-writing binary uses the shared 0/1/2 exit constants |
+//! | `config-coherence` | `detflow.toml`, `detlint.toml`, and `clippy.toml` agree on the tier map, wall-side exemptions, and required clippy bans |
+//!
+//! plus the same allow-hygiene meta rules as detlint (`stale-allow`,
+//! `bad-allow`) for its own `// detflow::allow(rule, reason = "...")`
+//! audited suppressions.
+//!
+//! The extractor ([`items`]) is scope-tracking, not parsing: `impl` and
+//! `mod` nesting produce qualified names, imports and `crate::` paths
+//! resolve ([`graph`]) with deliberate over-approximation (ambiguous
+//! method calls fan out to every workspace impl of that name;
+//! `macro_rules!` bodies are opaque; unresolved calls stay as external
+//! edges). A spurious edge costs an audited allow — a missed edge would
+//! cost a silent hazard, so the trade always goes the same way.
+//!
+//! The binary (`cargo run -p bgpscale-detflow -- --check`) exits with
+//! the workspace-wide convention: `0` clean, `1` violations, `2`
+//! usage/config error, and `--json` reports are byte-deterministic.
+//! `--fixtures` runs the seeded-bad self-test where **both** missed
+//! detections and false positives fail. See `docs/ARCHITECTURE.md`
+//! § "Static determinism guarantees" for how the two tiers divide the
+//! work.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod fixtures;
+pub mod graph;
+pub mod items;
+pub mod passes;
+pub mod report;
+
+pub use config::FlowConfig;
+pub use passes::analyze;
+pub use report::{Analysis, Finding};
+
+/// Schema version stamped into `detflow --json` reports.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Exit code: the analysis found no violations.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: violations (or fixture self-test failures) were found.
+pub const EXIT_VIOLATIONS: i32 = 1;
+/// Exit code: bad command line, unreadable root, or invalid config.
+pub const EXIT_USAGE: i32 = 2;
+
+/// One detflow rule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Rule {
+    /// The deterministic closure reached a wall-side module or API.
+    DetClosure,
+    /// A panic source is reachable from a hot-path root.
+    PanicSurface,
+    /// An artifact writer misses the schema stamp or exit convention.
+    ArtifactContract,
+    /// The three checked-in configs disagree.
+    ConfigCoherence,
+    /// A `detflow::allow` that suppressed nothing.
+    StaleAllow,
+    /// A malformed `detflow::allow`.
+    BadAllow,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::DetClosure,
+        Rule::PanicSurface,
+        Rule::ArtifactContract,
+        Rule::ConfigCoherence,
+        Rule::StaleAllow,
+        Rule::BadAllow,
+    ];
+
+    /// The kebab-case identifier used in allow comments, fixture
+    /// markers, and diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DetClosure => "det-closure",
+            Rule::PanicSurface => "panic-surface",
+            Rule::ArtifactContract => "artifact-contract",
+            Rule::ConfigCoherence => "config-coherence",
+            Rule::StaleAllow => "stale-allow",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a rule identifier.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("nope"), None);
+    }
+
+    #[test]
+    fn exit_codes_follow_the_workspace_convention() {
+        assert_eq!(EXIT_OK, bgpscale_detlint::EXIT_OK);
+        assert_eq!(EXIT_VIOLATIONS, bgpscale_detlint::EXIT_VIOLATIONS);
+        assert_eq!(EXIT_USAGE, bgpscale_detlint::EXIT_USAGE);
+    }
+}

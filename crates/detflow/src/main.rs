@@ -1,0 +1,190 @@
+//! `detflow` — the call-graph determinism analyzer CLI.
+//!
+//! ```text
+//! detflow [--check] [--fixtures] [--json] [--json-out FILE]
+//!         [--root DIR] [--config FILE] [--list-rules] [--quiet]
+//!
+//! modes:
+//!   --check       analyze the workspace under detflow.toml (the default)
+//!   --fixtures    self-test: run every seeded fixture case and assert the
+//!                 findings equal the `//~`/`#~` markers exactly, in both
+//!                 directions (missed detection OR false positive fails)
+//!   --list-rules  print the rule table and exit
+//!
+//! options:
+//!   --root DIR    workspace root (default: the current directory; for
+//!                 --fixtures: crates/detflow/tests/fixtures under it)
+//!   --config FILE analyzer configuration (default: <root>/detflow.toml)
+//!   --json        print the machine-readable report to stdout
+//!   --json-out F  additionally write the JSON report to F (CI artifact)
+//!   --quiet       suppress the scan summary and audited-allow listing
+//!
+//! exit codes (the workspace-wide convention, shared with detlint and
+//! `repro profile --check`):
+//!   0  clean — no violations
+//!   1  violations found (or fixture self-test failures)
+//!   2  usage error, unreadable root, or invalid detflow.toml
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bgpscale_detflow::{analyze, fixtures, report, FlowConfig, Rule};
+use bgpscale_detflow::{EXIT_OK, EXIT_USAGE, EXIT_VIOLATIONS};
+
+struct Options {
+    mode: Mode,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    json: bool,
+    json_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+#[derive(PartialEq, Eq)]
+enum Mode {
+    Check,
+    Fixtures,
+    ListRules,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    if !msg.is_empty() {
+        eprintln!("detflow: {msg}");
+    }
+    eprintln!(
+        "usage: detflow [--check|--fixtures|--list-rules] [--root DIR] [--config FILE] \
+         [--json] [--json-out FILE] [--quiet]\n\
+         exit codes: 0 = clean, 1 = violations, 2 = usage/config error"
+    );
+    ExitCode::from(EXIT_USAGE as u8)
+}
+
+fn rule_summary(rule: Rule) -> &'static str {
+    match rule {
+        Rule::DetClosure => {
+            "no call path from a deterministic-tier pub fn may reach a wall-side \
+             module or external wall/env API"
+        }
+        Rule::PanicSurface => {
+            "functions reachable from the hot-path roots must not unwrap/expect/\
+             panic!/slice-index without an audited invariant"
+        }
+        Rule::ArtifactContract => {
+            "file writers must flow through the schema stamp; artifact-writing \
+             binaries must use the shared exit constants"
+        }
+        Rule::ConfigCoherence => {
+            "detflow.toml, detlint.toml, and clippy.toml must agree on tiers, \
+             wall-side exemptions, and required bans"
+        }
+        Rule::StaleAllow => "a detflow::allow that suppressed nothing",
+        Rule::BadAllow => "a malformed detflow::allow",
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        mode: Mode::Check,
+        root: None,
+        config: None,
+        json: false,
+        json_out: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.mode = Mode::Check,
+            "--fixtures" => opts.mode = Mode::Fixtures,
+            "--list-rules" => opts.mode = Mode::ListRules,
+            "--json" => opts.json = true,
+            "--quiet" => opts.quiet = true,
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--config" => {
+                let v = args.next().ok_or("--config needs a file")?;
+                opts.config = Some(PathBuf::from(v));
+            }
+            "--json-out" => {
+                let v = args.next().ok_or("--json-out needs a file")?;
+                opts.json_out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                // Asking for help is not a usage *error*.
+                usage("");
+                std::process::exit(EXIT_OK);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => return usage(&msg),
+    };
+    match opts.mode {
+        Mode::ListRules => {
+            for rule in Rule::ALL {
+                println!("{:22} {}", rule.id(), rule_summary(rule));
+            }
+            ExitCode::from(EXIT_OK as u8)
+        }
+        Mode::Fixtures => {
+            let root = opts
+                .root
+                .unwrap_or_else(|| PathBuf::from("crates/detflow/tests/fixtures"));
+            if !root.is_dir() {
+                return usage(&format!("fixture root {} is not a directory", root.display()));
+            }
+            match fixtures::run(&root) {
+                Ok(rep) => {
+                    print!("{}", fixtures::render(&rep));
+                    if rep.ok() {
+                        ExitCode::from(EXIT_OK as u8)
+                    } else {
+                        ExitCode::from(EXIT_VIOLATIONS as u8)
+                    }
+                }
+                Err(msg) => usage(&msg),
+            }
+        }
+        Mode::Check => {
+            let root = opts.root.unwrap_or_else(|| PathBuf::from("."));
+            if !root.is_dir() {
+                return usage(&format!("root {} is not a directory", root.display()));
+            }
+            let config_path = opts.config.unwrap_or_else(|| root.join("detflow.toml"));
+            let cfg = match FlowConfig::load(&config_path) {
+                Ok(c) => c,
+                Err(msg) => return usage(&msg),
+            };
+            let analysis = match analyze(&root, &cfg) {
+                Ok(a) => a,
+                Err(e) => return usage(&format!("analyzing {}: {e}", root.display())),
+            };
+            if let Some(path) = &opts.json_out {
+                if let Err(e) = std::fs::write(path, report::render_json(&analysis)) {
+                    return usage(&format!("writing {}: {e}", path.display()));
+                }
+            }
+            if opts.json {
+                print!("{}", report::render_json(&analysis));
+            } else {
+                print!("{}", report::render_human(&analysis, opts.quiet));
+            }
+            if analysis.ok() {
+                ExitCode::from(EXIT_OK as u8)
+            } else {
+                ExitCode::from(EXIT_VIOLATIONS as u8)
+            }
+        }
+    }
+}

@@ -1,0 +1,626 @@
+//! The four graph passes, allow bookkeeping, and the top-level
+//! [`analyze`] entry point.
+//!
+//! * **det-closure** — BFS from every deterministic-tier `pub fn`; an
+//!   edge into a sanctioned wall-side module or an external wall/env
+//!   API is a violation anchored at the crossing call site, with a
+//!   witness path back to the entry point.
+//! * **panic-surface** — BFS from the configured hot-path roots; every
+//!   reachable function containing a panic source (`unwrap`/`expect`,
+//!   `panic!`-family, slice indexing) is a violation anchored at the
+//!   function declaration, listing its sites.
+//! * **artifact-contract** — every function that opens or writes a file
+//!   must have the schema stamp in its forward closure; every binary
+//!   `main` whose closure contains a writer must mention each exit-code
+//!   constant group in its closure.
+//! * **config-coherence** — `detflow.toml`, `detlint.toml`, and
+//!   `clippy.toml` must agree: identical deterministic tier maps,
+//!   detlint's wall-clock exemptions declared wall-side here, detflow's
+//!   own sources registered integer-only in detlint, and the required
+//!   clippy bans present.
+//!
+//! Suppression is per-site via `// detflow::allow(rule, reason = "...")`
+//! with detlint's coverage semantics. Unused allows are `stale-allow`
+//! violations, malformed ones `bad-allow` — suppressions can never
+//! outlive what they audit.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::path::Path;
+
+use crate::config::FlowConfig;
+use crate::graph::{EdgeTarget, Graph};
+use crate::items::{parse_file, FileItems, Needles, PanicKind};
+use crate::report::{AllowRecord, Analysis, Finding};
+use crate::Rule;
+
+/// Directory names never scanned: test and bench trees are exercised by
+/// `cargo test`/`cargo bench`, not replayed, and would flood the graph
+/// with fixture items.
+const SKIP_DIRS: [&str; 2] = ["tests", "benches"];
+
+/// External path segments that are wall-side by definition.
+fn external_is_wall(joined: &str) -> bool {
+    let segs: Vec<&str> = joined.split("::").collect();
+    if segs
+        .iter()
+        .any(|s| matches!(*s, "Instant" | "SystemTime" | "UNIX_EPOCH" | "getrandom"))
+    {
+        return true;
+    }
+    // `env::var` / `var_os` / `vars` with an `env` segment before it.
+    matches!(segs.last(), Some(&"var" | &"var_os" | &"vars")) && segs.contains(&"env")
+}
+
+/// Scans, builds the graph, runs every pass. `root` must hold the tree
+/// `cfg` describes; coherence configs are resolved relative to it.
+pub fn analyze(root: &Path, cfg: &FlowConfig) -> Result<Analysis, String> {
+    let files = collect_files(root, cfg)?;
+    let needles = Needles {
+        stamp: cfg.stamp.clone(),
+        exits: cfg.exit_alternatives(),
+    };
+    let mut parsed = Vec::with_capacity(files.len());
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        parsed.push(parse_file(rel, &text, &needles));
+    }
+    let graph = Graph::build(&parsed, cfg);
+    Ok(run_passes(root, cfg, &parsed, &graph))
+}
+
+/// Walks the include roots for `.rs` files, sorted, honoring excludes
+/// and skipping test/bench directories.
+fn collect_files(root: &Path, cfg: &FlowConfig) -> Result<Vec<String>, String> {
+    fn walk(
+        root: &Path,
+        dir: &Path,
+        cfg: &FlowConfig,
+        out: &mut Vec<String>,
+    ) -> Result<(), String> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("walk error under {}: {e}", dir.display()))?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let rel = match path.strip_prefix(root) {
+                Ok(r) => r.to_string_lossy().replace('\\', "/"),
+                Err(_) => continue,
+            };
+            if cfg.is_excluded(&rel) {
+                continue;
+            }
+            if path.is_dir() {
+                let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+                if name.as_deref().is_some_and(|n| SKIP_DIRS.contains(&n)) {
+                    continue;
+                }
+                walk(root, &path, cfg, out)?;
+            } else if rel.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.is_file() {
+            if inc.ends_with(".rs") && !cfg.is_excluded(inc) {
+                files.push(inc.clone());
+            }
+        } else if dir.is_dir() {
+            walk(root, &dir, cfg, &mut files)?;
+        }
+        // Missing include dirs are tolerated (fixture trees differ in shape).
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+/// Allow ledger: every parsed directive plus a used flag.
+struct Ledger {
+    allows: Vec<(String, crate::items::FlowAllow, bool)>,
+}
+
+impl Ledger {
+    fn new(files: &[FileItems]) -> Ledger {
+        let mut allows = Vec::new();
+        for f in files {
+            for a in &f.allows {
+                allows.push((f.rel.clone(), a.clone(), false));
+            }
+        }
+        Ledger { allows }
+    }
+
+    /// True (and marks used) if an allow of `rule` covers (file, line).
+    fn covered(&mut self, file: &str, line: usize, rule: Rule) -> bool {
+        let mut hit = false;
+        for (f, a, used) in &mut self.allows {
+            if a.rule == rule && a.covers_line == line && f == file {
+                *used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+fn run_passes(root: &Path, cfg: &FlowConfig, files: &[FileItems], graph: &Graph) -> Analysis {
+    let mut ledger = Ledger::new(files);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // ---- det-closure -------------------------------------------------
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| {
+            let n = &graph.nodes[i];
+            n.item.is_pub
+                && cfg.is_deterministic(&n.file)
+                && !cfg.is_wall_side(&n.item.qname)
+        })
+        .collect();
+    let entry_points = entries.len();
+    {
+        let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+        let mut seen: Vec<bool> = vec![false; graph.nodes.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &e in &entries {
+            if !seen[e] {
+                seen[e] = true;
+                queue.push_back(e);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for edge in &graph.edges[u] {
+                let crossing: Option<String> = match &edge.target {
+                    EdgeTarget::Node(v) => {
+                        let q = &graph.nodes[*v].item.qname;
+                        if cfg.is_wall_side(q) {
+                            Some(q.clone())
+                        } else {
+                            if !seen[*v] {
+                                seen[*v] = true;
+                                parent[*v] = Some(u);
+                                queue.push_back(*v);
+                            }
+                            None
+                        }
+                    }
+                    EdgeTarget::External(p) if external_is_wall(p) => Some(p.clone()),
+                    _ => None,
+                };
+                if let Some(target) = crossing {
+                    let n = &graph.nodes[u];
+                    if ledger.covered(&n.file, edge.line, Rule::DetClosure) {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        rule: Rule::DetClosure,
+                        file: n.file.clone(),
+                        line: edge.line,
+                        message: format!(
+                            "deterministic closure reaches wall-side `{target}` \
+                             (route through simulated time/seeded rng, or audit the \
+                             crossing with a detflow::allow)"
+                        ),
+                        witness: witness(graph, &parent, u),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- panic-surface -----------------------------------------------
+    let roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| cfg.is_hot_root(&graph.nodes[i].item.qname))
+        .collect();
+    let hot_roots = roots.len();
+    {
+        let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+        let mut seen: Vec<bool> = vec![false; graph.nodes.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &roots {
+            if !seen[r] {
+                seen[r] = true;
+                queue.push_back(r);
+            }
+        }
+        let mut order: Vec<usize> = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for edge in &graph.edges[u] {
+                if let EdgeTarget::Node(v) = edge.target {
+                    if !seen[v] {
+                        seen[v] = true;
+                        parent[v] = Some(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        for u in order {
+            let n = &graph.nodes[u];
+            if n.item.panics.is_empty() {
+                continue;
+            }
+            if ledger.covered(&n.file, n.item.line, Rule::PanicSurface) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::PanicSurface,
+                file: n.file.clone(),
+                line: n.item.line,
+                message: format!(
+                    "`{}` is reachable from a hot path and can panic: {} \
+                     (restructure, or audit the invariant with a detflow::allow \
+                     on the fn declaration)",
+                    n.item.qname,
+                    panic_summary(&n.item.panics),
+                ),
+                witness: witness(graph, &parent, u),
+            });
+        }
+    }
+
+    // ---- artifact-contract -------------------------------------------
+    let writers: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&i| !graph.nodes[i].item.writes.is_empty())
+        .collect();
+    let writer_count = writers.len();
+    {
+        let writer_set: BTreeSet<usize> = writers.iter().copied().collect();
+        for &w in &writers {
+            let closure = forward_closure(graph, w);
+            let stamped = closure
+                .iter()
+                .any(|&i| graph.nodes[i].item.mentions_stamp);
+            if stamped {
+                continue;
+            }
+            let n = &graph.nodes[w];
+            if ledger.covered(&n.file, n.item.line, Rule::ArtifactContract) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::ArtifactContract,
+                file: n.file.clone(),
+                line: n.item.line,
+                message: format!(
+                    "`{}` writes a file but nothing in its call closure mentions \
+                     the schema stamp `{}` — artifacts must be versioned",
+                    n.item.qname, cfg.stamp
+                ),
+                witness: Vec::new(),
+            });
+        }
+        for i in 0..graph.nodes.len() {
+            if !graph.nodes[i].item.is_main {
+                continue;
+            }
+            let closure = forward_closure(graph, i);
+            if !closure.iter().any(|c| writer_set.contains(c)) {
+                continue;
+            }
+            let mentioned: BTreeSet<&String> = closure
+                .iter()
+                .flat_map(|&c| graph.nodes[c].item.mentions.iter())
+                .collect();
+            let missing: Vec<&str> = cfg
+                .exit_constants
+                .iter()
+                .filter(|group| {
+                    !group
+                        .split('|')
+                        .map(str::trim)
+                        .any(|alt| mentioned.iter().any(|m| m.as_str() == alt))
+                })
+                .map(String::as_str)
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let n = &graph.nodes[i];
+            if ledger.covered(&n.file, n.item.line, Rule::ArtifactContract) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::ArtifactContract,
+                file: n.file.clone(),
+                line: n.item.line,
+                message: format!(
+                    "binary `{}` writes artifacts but does not use the shared exit \
+                     convention: missing {}",
+                    n.item.qname,
+                    missing.join(", ")
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    // ---- config-coherence --------------------------------------------
+    findings.extend(check_coherence(root, cfg));
+
+    // ---- allow hygiene -----------------------------------------------
+    for f in files {
+        for &line in &f.bad_allows {
+            findings.push(Finding {
+                rule: Rule::BadAllow,
+                file: f.rel.clone(),
+                line,
+                message: "malformed detflow::allow; expected \
+                          detflow::allow(<rule>, reason = \"...\")"
+                    .to_string(),
+                witness: Vec::new(),
+            });
+        }
+    }
+    let mut allows_out: Vec<AllowRecord> = Vec::new();
+    for (file, a, used) in &ledger.allows {
+        if *used {
+            allows_out.push(AllowRecord {
+                rule: a.rule,
+                file: file.clone(),
+                line: a.decl_line,
+                reason: a.reason.clone(),
+            });
+        } else {
+            findings.push(Finding {
+                rule: Rule::StaleAllow,
+                file: file.clone(),
+                line: a.decl_line,
+                message: "this detflow::allow suppressed nothing; remove it or move it \
+                          onto the declaration it audits"
+                    .to_string(),
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    allows_out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    Analysis {
+        files: files.iter().map(|f| f.rel.clone()).collect(),
+        functions: graph.nodes.len(),
+        edges: graph.edge_count(),
+        entry_points,
+        hot_roots,
+        writers: writer_count,
+        diagnostics: findings,
+        allows: allows_out,
+    }
+}
+
+/// Nodes reachable from `start`, including `start`, in index order.
+fn forward_closure(graph: &Graph, start: usize) -> Vec<usize> {
+    let mut seen = vec![false; graph.nodes.len()];
+    seen[start] = true;
+    let mut queue = VecDeque::from([start]);
+    while let Some(u) = queue.pop_front() {
+        for e in &graph.edges[u] {
+            if let EdgeTarget::Node(v) = e.target {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    (0..graph.nodes.len()).filter(|&i| seen[i]).collect()
+}
+
+/// Renders the BFS parent chain of `u` root-first, capped.
+fn witness(graph: &Graph, parent: &[Option<usize>], u: usize) -> Vec<String> {
+    let mut chain = vec![u];
+    let mut cur = u;
+    while let Some(p) = parent[cur] {
+        chain.push(p);
+        cur = p;
+        if chain.len() > 12 {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+        .into_iter()
+        .map(|i| graph.nodes[i].item.qname.clone())
+        .collect()
+}
+
+/// Summarizes a function's panic sites for the diagnostic message.
+fn panic_summary(panics: &[crate::items::PanicSite]) -> String {
+    let mut by_kind: BTreeMap<PanicKind, Vec<usize>> = BTreeMap::new();
+    for p in panics {
+        by_kind.entry(p.kind).or_default().push(p.line);
+    }
+    let mut parts = Vec::new();
+    for (kind, mut lines) in by_kind {
+        lines.sort_unstable();
+        lines.dedup();
+        let shown: Vec<String> = lines.iter().take(6).map(|l| l.to_string()).collect();
+        let more = if lines.len() > 6 {
+            format!(" (+{} more)", lines.len() - 6)
+        } else {
+            String::new()
+        };
+        parts.push(format!("{} at line {}{}", kind.label(), shown.join("/"), more));
+    }
+    parts.join(", ")
+}
+
+/// Maps a source path to its module path: `crates/obs/src/span.rs` →
+/// `obs::span`.
+fn path_to_module(rel: &str) -> String {
+    let (crate_id, mods) = crate::items::module_of(rel);
+    let mut parts = vec![crate_id];
+    parts.extend(mods);
+    parts.join("::")
+}
+
+/// The config-coherence pass: reconciles the three checked-in configs.
+fn check_coherence(root: &Path, cfg: &FlowConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut drift = |file: &str, message: String| {
+        findings.push(Finding {
+            rule: Rule::ConfigCoherence,
+            file: file.to_string(),
+            line: 1,
+            message,
+            witness: Vec::new(),
+        });
+    };
+
+    let detlint_rel = cfg.detlint_config.clone();
+    let detlint_path = root.join(&detlint_rel);
+    if !detlint_path.is_file() {
+        drift(&detlint_rel, format!("`{detlint_rel}` is missing — the two tiers must share one tier map"));
+        return findings;
+    }
+    let detlint = match bgpscale_detlint::config::Config::load(&detlint_path) {
+        Ok(c) => c,
+        Err(e) => {
+            drift(&detlint_rel, format!("cannot parse `{detlint_rel}`: {e}"));
+            return findings;
+        }
+    };
+
+    // 1. Identical deterministic tier maps.
+    let ours: BTreeSet<&String> = cfg.deterministic.iter().collect();
+    let theirs: BTreeSet<&String> = detlint.deterministic.iter().collect();
+    if ours != theirs {
+        let missing: Vec<&str> = theirs.difference(&ours).map(|s| s.as_str()).collect();
+        let extra: Vec<&str> = ours.difference(&theirs).map(|s| s.as_str()).collect();
+        drift(
+            "detflow.toml",
+            format!(
+                "deterministic tier maps disagree with `{detlint_rel}` \
+                 (missing here: [{}]; extra here: [{}])",
+                missing.join(", "),
+                extra.join(", ")
+            ),
+        );
+    }
+
+    // 2. Every detlint wall-clock exemption must be a declared wall-side
+    // module, so the closure pass fences what the line rules wave through.
+    if let Some(exempt) = detlint.exempt.get(&bgpscale_detlint::rules::Rule::WallClock) {
+        for path in exempt {
+            let module = path_to_module(path);
+            if !cfg.wall_side.contains(&module) {
+                drift(
+                    &detlint_rel,
+                    format!(
+                        "`{path}` is wall-clock-exempt for detlint but `{module}` is \
+                         not declared in detflow's [wall-side] modules"
+                    ),
+                );
+            }
+        }
+    }
+
+    // 3. detflow's own sources must be registered integer-only in
+    // detlint (the analyzer that bans floats must not float itself).
+    if root.join("crates/detflow/src").is_dir()
+        && !detlint.is_integer_only("crates/detflow/src/lib.rs")
+    {
+        drift(
+            &detlint_rel,
+            "crates/detflow/src must be listed under detlint's [integer-only] paths"
+                .to_string(),
+        );
+    }
+
+    // 4. Required clippy bans present (matched as quoted strings, so the
+    // check is robust to clippy.toml's table-vs-array spellings).
+    if !cfg.clippy_config.is_empty() {
+        let clippy_rel = cfg.clippy_config.clone();
+        let clippy_path = root.join(&clippy_rel);
+        match std::fs::read_to_string(&clippy_path) {
+            Err(_) => drift(&clippy_rel, format!("`{clippy_rel}` is missing")),
+            Ok(text) => {
+                let quoted = quoted_strings(&text);
+                for req in &cfg.clippy_required {
+                    if !quoted.contains(req) {
+                        drift(
+                            &clippy_rel,
+                            format!("required clippy ban `{req}` is not present"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// All `"…"` string contents in a TOML file, comments stripped.
+fn quoted_strings(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for raw in text.lines() {
+        let line = bgpscale_detlint::config::strip_toml_comment(raw);
+        let mut rest = line;
+        while let Some(start) = rest.find('"') {
+            let tail = &rest[start + 1..];
+            let Some(len) = tail.find('"') else { break };
+            out.insert(tail[..len].to_string());
+            rest = &tail[len + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_wall_classification() {
+        assert!(external_is_wall("std::time::Instant::now"));
+        assert!(external_is_wall("Instant::now"));
+        assert!(external_is_wall("std::env::var"));
+        assert!(external_is_wall("env::vars"));
+        assert!(!external_is_wall("std::fs::write"));
+        assert!(!external_is_wall("serde::var"));
+        assert!(!external_is_wall("environment::var"));
+    }
+
+    #[test]
+    fn path_to_module_matches_workspace_layout() {
+        assert_eq!(path_to_module("crates/simkernel/src/wallclock.rs"), "simkernel::wallclock");
+        assert_eq!(path_to_module("crates/obs/src/span.rs"), "obs::span");
+        assert_eq!(path_to_module("util/sanctioned.rs"), "util::sanctioned");
+    }
+
+    #[test]
+    fn quoted_strings_ignore_comments() {
+        let got = quoted_strings("a = [\"x\", \"y\"] # \"z\"\n# \"w\"\n");
+        assert!(got.contains("x") && got.contains("y"));
+        assert!(!got.contains("z") && !got.contains("w"));
+    }
+
+    #[test]
+    fn panic_summary_groups_and_caps() {
+        use crate::items::PanicSite;
+        let sites: Vec<PanicSite> = (1..=8)
+            .map(|l| PanicSite {
+                kind: PanicKind::Unwrap,
+                line: l,
+            })
+            .chain([PanicSite {
+                kind: PanicKind::SliceIndex,
+                line: 3,
+            }])
+            .collect();
+        let s = panic_summary(&sites);
+        assert!(s.contains("unwrap at line 1/2/3/4/5/6 (+2 more)"), "{s}");
+        assert!(s.contains("slice-index at line 3"), "{s}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Analysis results and their renderings.
+//!
+//! The JSON report is hand-rolled and **byte-deterministic**: files are
+//! walked sorted, findings and allows are emitted in (file, line, rule)
+//! order, and no timestamps, absolute paths, or map iteration orders can
+//! leak in. Two runs over the same tree must produce identical bytes —
+//! the integration suite asserts it.
+
+use crate::Rule;
+
+/// One violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Path relative to the scan root.
+    pub file: String,
+    /// 1-based anchor line (call site, fn declaration, or config line).
+    pub line: usize,
+    pub message: String,
+    /// Qualified-name chain from an entry point / hot root to the
+    /// finding, when the pass walked one. Empty otherwise.
+    pub witness: Vec<String>,
+}
+
+impl Finding {
+    /// `file:line: [rule] message` single-line rendering.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}:{}: [{}] {}", self.file, self.line, self.rule, self.message);
+        if !self.witness.is_empty() {
+            s.push_str(&format!("\n    via {}", self.witness.join(" -> ")));
+        }
+        s
+    }
+}
+
+/// One audited (used) suppression.
+#[derive(Clone, Debug)]
+pub struct AllowRecord {
+    pub rule: Rule,
+    pub file: String,
+    pub line: usize,
+    pub reason: String,
+}
+
+/// The complete result of one analysis run.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Every scanned file, relative to the root, sorted.
+    pub files: Vec<String>,
+    /// Function nodes in the graph.
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Deterministic-tier public entry points.
+    pub entry_points: usize,
+    /// Matched hot-path roots.
+    pub hot_roots: usize,
+    /// Artifact-writing functions.
+    pub writers: usize,
+    /// All violations, in (file, line, rule) order.
+    pub diagnostics: Vec<Finding>,
+    /// All used allows, in (file, line, rule) order.
+    pub allows: Vec<AllowRecord>,
+}
+
+impl Analysis {
+    pub fn ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report. Stamped with
+/// [`crate::SCHEMA_VERSION`] like every other artifact this workspace
+/// writes.
+pub fn render_json(a: &Analysis) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!("  \"schema_version\": {},\n", crate::SCHEMA_VERSION));
+    j.push_str(&format!("  \"ok\": {},\n", a.ok()));
+    j.push_str(&format!("  \"files\": {},\n", a.files.len()));
+    j.push_str(&format!("  \"functions\": {},\n", a.functions));
+    j.push_str(&format!("  \"edges\": {},\n", a.edges));
+    j.push_str(&format!("  \"entry_points\": {},\n", a.entry_points));
+    j.push_str(&format!("  \"hot_roots\": {},\n", a.hot_roots));
+    j.push_str(&format!("  \"writers\": {},\n", a.writers));
+    j.push_str("  \"violations\": [");
+    for (i, d) in a.diagnostics.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        j.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"witness\": [{}]}}",
+            d.rule,
+            escape(&d.file),
+            d.line,
+            escape(&d.message),
+            d.witness
+                .iter()
+                .map(|w| format!("\"{}\"", escape(w)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    if a.diagnostics.is_empty() {
+        j.push_str("],\n");
+    } else {
+        j.push_str("\n  ],\n");
+    }
+    j.push_str("  \"allows\": [");
+    for (i, al) in a.allows.iter().enumerate() {
+        if i > 0 {
+            j.push(',');
+        }
+        j.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+            al.rule,
+            escape(&al.file),
+            al.line,
+            escape(&al.reason)
+        ));
+    }
+    if a.allows.is_empty() {
+        j.push_str("]\n");
+    } else {
+        j.push_str("\n  ]\n");
+    }
+    j.push_str("}\n");
+    j
+}
+
+/// Renders the human report.
+pub fn render_human(a: &Analysis, quiet: bool) -> String {
+    let mut out = String::new();
+    if !quiet {
+        out.push_str(&format!(
+            "detflow: {} files, {} functions, {} edges; {} entry points, {} hot roots, \
+             {} writers\n",
+            a.files.len(),
+            a.functions,
+            a.edges,
+            a.entry_points,
+            a.hot_roots,
+            a.writers
+        ));
+    }
+    for d in &a.diagnostics {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    if !quiet && !a.allows.is_empty() {
+        out.push_str(&format!("{} audited allow(s):\n", a.allows.len()));
+        for al in &a.allows {
+            out.push_str(&format!(
+                "  {}:{}: [{}] {}\n",
+                al.file, al.line, al.rule, al.reason
+            ));
+        }
+    }
+    if a.ok() {
+        out.push_str("detflow: OK\n");
+    } else {
+        out.push_str(&format!("detflow: FAIL ({} violation(s))\n", a.diagnostics.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Analysis {
+        Analysis {
+            files: vec!["a.rs".to_string()],
+            functions: 2,
+            edges: 1,
+            entry_points: 1,
+            hot_roots: 0,
+            writers: 0,
+            diagnostics: vec![Finding {
+                rule: Rule::DetClosure,
+                file: "a.rs".to_string(),
+                line: 3,
+                message: "reaches \"wall\"".to_string(),
+                witness: vec!["a::f".to_string(), "b::g".to_string()],
+            }],
+            allows: vec![AllowRecord {
+                rule: Rule::PanicSurface,
+                file: "a.rs".to_string(),
+                line: 9,
+                reason: "bounded".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_stamped_escaped_and_balanced() {
+        let j = render_json(&sample());
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"ok\": false"));
+        assert!(j.contains("reaches \\\"wall\\\""));
+        assert!(j.contains("\"witness\": [\"a::f\", \"b::g\"]"));
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn human_report_mentions_verdict_and_witness() {
+        let h = render_human(&sample(), false);
+        assert!(h.contains("detflow: FAIL (1 violation(s))"));
+        assert!(h.contains("via a::f -> b::g"));
+        assert!(h.contains("[panic-surface] bounded"));
+        let empty = render_human(&Analysis::default(), true);
+        assert_eq!(empty, "detflow: OK\n");
+    }
+}

@@ -1,0 +1,18 @@
+//! Mid-tier helpers: scanned, but in neither the deterministic tier nor
+//! a sanctioned wall-side module. The two crossings below are exactly
+//! what a line rule cannot attribute to the deterministic tier; detflow
+//! anchors them here via the call graph, with a witness path.
+
+pub fn ticks(seed: u64) -> u64 {
+    let base = wall::clock::now_us(); //~ det-closure
+    base.wrapping_add(seed)
+}
+
+pub fn stamp(seed: u64) -> u64 {
+    let t = std::time::Instant::now(); //~ det-closure
+    mix(seed, t.elapsed().as_secs())
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    a ^ b.rotate_left(7)
+}

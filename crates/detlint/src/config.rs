@@ -182,8 +182,10 @@ impl Config {
     }
 }
 
-/// Drops a `#` comment that is not inside a quoted string.
-fn strip_toml_comment(line: &str) -> &str {
+/// Drops a `#` comment that is not inside a quoted string. Public so
+/// detflow's config parser (the same TOML subset, different sections)
+/// shares one comment-handling behavior.
+pub fn strip_toml_comment(line: &str) -> &str {
     let mut in_string = false;
     for (i, c) in line.char_indices() {
         match c {
@@ -195,8 +197,9 @@ fn strip_toml_comment(line: &str) -> &str {
     line
 }
 
-/// Parses `["a", "b"]` (flattened to one line by the caller).
-fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+/// Parses `["a", "b"]` (flattened to one line by the caller). Public for
+/// the same reason as [`strip_toml_comment`].
+pub fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
     let inner = value
         .strip_prefix('[')
         .and_then(|v| v.strip_suffix(']'))

@@ -98,6 +98,7 @@ fn plural(n: usize) -> &'static str {
 pub fn render_json(a: &Analysis) -> String {
     let mut s = String::new();
     s.push_str("{\n");
+    s.push_str(&format!("  \"schema_version\": {},\n", crate::SCHEMA_VERSION));
     s.push_str(&format!("  \"files_scanned\": {},\n", a.files.len()));
     s.push_str(&format!(
         "  \"deterministic_files\": {},\n",

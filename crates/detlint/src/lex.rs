@@ -1,5 +1,10 @@
 //! Line-oriented Rust lexing: comment/string stripping and tokenizing.
 //!
+//! This module is **shared between both static-analysis tools** in the
+//! workspace: `detlint` (line-rule linting) and `bgpscale-detflow`
+//! (call-graph passes) consume the same lexer, so the two tools can never
+//! disagree about what is code and what is comment or literal.
+//!
 //! The scanner works line by line but keeps cross-line state (nested block
 //! comments, multi-line raw strings), so a rule token inside a doc
 //! comment, a string literal, or an HTML template never fires. Stripped
@@ -29,6 +34,11 @@ pub struct Line {
     /// The text of the first `//` comment on the line, without the
     /// slashes, if any.
     pub comment: Option<String>,
+    /// 0-based char column where that `//` comment starts, if any —
+    /// callers that need the raw pre-comment text (e.g. detflow's
+    /// stamp-mention check, where an identifier may sit inside a format
+    /// string) slice the original line up to here.
+    pub comment_col: Option<usize>,
 }
 
 impl Lexer {
@@ -41,6 +51,7 @@ impl Lexer {
         let chars: Vec<char> = line.chars().collect();
         let mut out = String::with_capacity(chars.len());
         let mut comment = None;
+        let mut comment_col = None;
         let mut i = 0;
         while i < chars.len() {
             let c = chars[i];
@@ -76,6 +87,7 @@ impl Lexer {
             match c {
                 '/' if next == Some('/') => {
                     comment = Some(chars[i + 2..].iter().collect::<String>());
+                    comment_col = Some(i);
                     break;
                 }
                 '/' if next == Some('*') => {
@@ -100,7 +112,11 @@ impl Lexer {
                 }
             }
         }
-        Line { code: out, comment }
+        Line {
+            code: out,
+            comment,
+            comment_col,
+        }
     }
 
     /// True if position `i` starts `r"`, `r#"`, `b"`, `br"`, or `br#"`
@@ -278,6 +294,64 @@ pub fn tokenize(code: &str) -> Vec<Token> {
     tokens
 }
 
+/// Parses a `<prefix>(rule, reason = "...")` audited-suppression
+/// directive out of a comment's text, e.g. with prefix `detlint::allow`
+/// or `detflow::allow`. Returns `None` if the comment is not a directive
+/// for that prefix, `Some(Err(()))` if it is one but malformed (missing
+/// reason, unquoted reason, unterminated argument list). The rule
+/// identifier is returned as text; each tool maps it onto its own rule
+/// enum (an unknown id is that tool's `bad-allow`).
+///
+/// A directive must be the *start* of its comment — prose that merely
+/// mentions the syntax, like this doc comment or a `//!` example, is
+/// never a directive (doc comments reach us with a leading `!`/`/`,
+/// which also disqualifies them).
+pub fn parse_allow_directive(
+    comment: &str,
+    prefix: &str,
+) -> Option<Result<(String, String), ()>> {
+    let trimmed = comment.trim_start();
+    if !trimmed.starts_with(prefix) {
+        return None;
+    }
+    let rest = trimmed[prefix.len()..].trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(Err(()));
+    };
+    let id_len = rest
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+        .map_or(rest.len(), |(i, _)| i);
+    let rule = rest[..id_len].to_string();
+    if rule.is_empty() {
+        return Some(Err(()));
+    }
+    let rest = rest[id_len..].trim_start();
+    let Some(rest) = rest.strip_prefix(',') else {
+        return Some(Err(())); // `reason` is mandatory: suppressions are audited.
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("reason") else {
+        return Some(Err(()));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('=') else {
+        return Some(Err(()));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Some(Err(()));
+    };
+    let Some(end) = rest.find('"') else {
+        return Some(Err(()));
+    };
+    let reason = rest[..end].trim().to_string();
+    if reason.is_empty() || !rest[end + 1..].trim_start().starts_with(')') {
+        return Some(Err(()));
+    }
+    Some(Ok((rule, reason)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +424,42 @@ mod tests {
         let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(texts, ["std", "::", "thread", "::", "spawn", "(", "f", ")"]);
         assert_eq!(toks[2].col, 5);
+    }
+
+    #[test]
+    fn allow_directive_parses_for_any_tool_prefix() {
+        let ok = parse_allow_directive(
+            " detlint::allow(wall-clock, reason = \"bench only\")",
+            "detlint::allow",
+        );
+        assert_eq!(
+            ok,
+            Some(Ok(("wall-clock".to_string(), "bench only".to_string())))
+        );
+        let flow = parse_allow_directive(
+            " detflow::allow(panic-surface, reason = \"index in bounds by construction\")",
+            "detflow::allow",
+        );
+        assert!(matches!(flow, Some(Ok((r, _))) if r == "panic-surface"));
+        // Wrong prefix: not a directive at all.
+        assert_eq!(
+            parse_allow_directive(" detflow::allow(x, reason = \"y\")", "detlint::allow"),
+            None
+        );
+        // Malformed: missing reason.
+        assert_eq!(
+            parse_allow_directive(" detlint::allow(env-read)", "detlint::allow"),
+            Some(Err(()))
+        );
+    }
+
+    #[test]
+    fn comment_col_points_at_the_slashes() {
+        let mut lx = Lexer::new();
+        let line = lx.strip_line("let x = 1; // trailing");
+        assert_eq!(line.comment_col, Some(11));
+        let none = lx.strip_line("let y = 2;");
+        assert_eq!(none.comment_col, None);
     }
 
     #[test]

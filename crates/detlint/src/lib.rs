@@ -39,16 +39,19 @@
 //! Lexing is line-oriented but state-tracking: block comments (nested),
 //! multi-line raw strings, char-literal/lifetime disambiguation, and
 //! `#[cfg(test)]` module skipping are all handled so that rule tokens in
-//! comments, strings, and unit tests never produce false positives. See
-//! `docs/ARCHITECTURE.md` § "Static determinism guarantees" for how this
-//! relates to the jobs-1/4/8 runtime tests.
+//! comments, strings, and unit tests never produce false positives. The
+//! lexer lives in the shared [`lex`] module, which `bgpscale-detflow`
+//! (the call-graph determinism analyzer — the second, reachability-aware
+//! tier of static checking) consumes as well. See
+//! `docs/ARCHITECTURE.md` § "Static determinism guarantees" for how the
+//! two tiers relate to the jobs-1/4/8 runtime tests.
 
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod diag;
 pub mod fixtures;
-pub mod lexer;
+pub mod lex;
 pub mod rules;
 pub mod scan;
 
@@ -56,6 +59,11 @@ pub use config::Config;
 pub use diag::{AllowRecord, Diagnostic};
 pub use rules::Rule;
 pub use scan::Analysis;
+
+/// Schema version stamped into `detlint --json` reports, per the
+/// workspace artifact contract (enforced by detflow's artifact-contract
+/// pass: every written artifact carries its schema version).
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// Exit code: the scan found no violations.
 pub const EXIT_OK: i32 = 0;

@@ -1,7 +1,7 @@
 //! The determinism rule set: identifiers, token patterns, and messages.
 //!
 //! Rules are matched against the **stripped token stream** of each line
-//! (comments and string literals removed by [`crate::lexer`]), so a rule
+//! (comments and string literals removed by [`crate::lex`]), so a rule
 //! token appearing in documentation or in a string never fires. A pattern
 //! is a sequence of exact tokens; identifiers only match whole identifiers
 //! (`thread` never matches `a_thread`), and `::` is a single token.

@@ -4,7 +4,7 @@
 //!
 //! 1. decides the file's tier from the config (deterministic /
 //!    integer-only / neither) and the active rule set;
-//! 2. strips each line with [`crate::lexer`], skipping `#[cfg(test)]`
+//! 2. strips each line with the shared [`crate::lex`], skipping `#[cfg(test)]`
 //!    blocks by brace tracking (unit tests are exercised by `cargo test`,
 //!    not replayed — hazards there cannot break artifacts);
 //! 3. collects `// detlint::allow(rule, reason = "...")` directives: a
@@ -24,8 +24,13 @@ use std::path::Path;
 
 use crate::config::Config;
 use crate::diag::{AllowRecord, Diagnostic};
-use crate::lexer::{tokenize, Lexer, Token};
+use crate::lex::{parse_allow_directive, tokenize, Lexer, Token};
 use crate::rules::Rule;
+
+/// The comment prefix that makes a suppression a *detlint* directive
+/// (detflow has its own, parsed by the same shared
+/// [`parse_allow_directive`]).
+const ALLOW_PREFIX: &str = "detlint::allow";
 
 /// The result of scanning a tree.
 #[derive(Clone, Debug, Default)]
@@ -316,53 +321,17 @@ fn line_snippet(text: &str, lineno: usize) -> String {
 }
 
 /// Parses a `detlint::allow(rule, reason = "...")` directive out of a
-/// comment's text. Returns `None` if the comment is not a directive,
-/// `Some(Err(()))` if it is one but malformed.
-///
-/// A directive must be the *start* of its comment (`// detlint::allow(…)`)
-/// — prose that merely mentions the syntax, like this doc comment or a
-/// `//!` example, is never a directive (doc comments reach us with a
-/// leading `!`/`/`, which also disqualifies them).
+/// comment's text via the shared [`parse_allow_directive`]. Returns
+/// `None` if the comment is not a detlint directive, `Some(Err(()))` if
+/// it is one but malformed (including an unknown rule id).
 fn parse_allow(comment: &str) -> Option<Result<(Rule, String), ()>> {
-    let trimmed = comment.trim_start();
-    if !trimmed.starts_with("detlint::allow") {
-        return None;
+    match parse_allow_directive(comment, ALLOW_PREFIX)? {
+        Ok((rule_id, reason)) => match Rule::from_id(&rule_id) {
+            Some(rule) => Some(Ok((rule, reason))),
+            None => Some(Err(())),
+        },
+        Err(()) => Some(Err(())),
     }
-    let rest = trimmed["detlint::allow".len()..].trim_start();
-    let Some(rest) = rest.strip_prefix('(') else {
-        return Some(Err(()));
-    };
-    let id_len = rest
-        .char_indices()
-        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
-        .map_or(rest.len(), |(i, _)| i);
-    let Some(rule) = Rule::from_id(&rest[..id_len]) else {
-        return Some(Err(()));
-    };
-    let rest = rest[id_len..].trim_start();
-    let Some(rest) = rest.strip_prefix(',') else {
-        return Some(Err(())); // `reason` is mandatory: suppressions are audited.
-    };
-    let rest = rest.trim_start();
-    let Some(rest) = rest.strip_prefix("reason") else {
-        return Some(Err(()));
-    };
-    let rest = rest.trim_start();
-    let Some(rest) = rest.strip_prefix('=') else {
-        return Some(Err(()));
-    };
-    let rest = rest.trim_start();
-    let Some(rest) = rest.strip_prefix('"') else {
-        return Some(Err(()));
-    };
-    let Some(end) = rest.find('"') else {
-        return Some(Err(()));
-    };
-    let reason = rest[..end].trim().to_string();
-    if reason.is_empty() || !rest[end + 1..].trim_start().starts_with(')') {
-        return Some(Err(()));
-    }
-    Some(Ok((rule, reason)))
 }
 
 #[cfg(test)]

@@ -98,9 +98,62 @@ fn clean_fixture_has_zero_findings_and_a_counted_allow() {
 }
 
 #[test]
+fn lexer_extraction_changed_zero_fixture_diagnostics() {
+    // Golden regression for the `detlint::lex` extraction (the shared
+    // lexer consumed by both detlint and detflow): the complete, ordered
+    // (file, line, rule) list over the fixture tree was captured from the
+    // pre-extraction linter and must never drift. A lexer change that
+    // moves, adds, or drops ANY fixture diagnostic fails here.
+    let a = fixture_analysis();
+    let got: Vec<(String, usize, String)> = a
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule.id().to_string()))
+        .collect();
+    let expected: Vec<(&str, usize, &str)> = vec![
+        ("bad/env_read.rs", 6, "env-read"),
+        ("bad/env_read.rs", 10, "env-read"),
+        ("bad/env_read.rs", 14, "env-read"),
+        ("bad/float_accum.rs", 8, "float-accum"),
+        ("bad/float_accum.rs", 13, "float-accum"),
+        ("bad/float_accum.rs", 14, "float-accum"),
+        ("bad/hashmap_iter.rs", 8, "unordered-collection"),
+        ("bad/hashmap_iter.rs", 10, "unordered-collection"),
+        ("bad/hashmap_iter.rs", 19, "unordered-collection"),
+        ("bad/instant_now.rs", 6, "wall-clock"),
+        ("bad/instant_now.rs", 12, "wall-clock"),
+        ("bad/stale_allow.rs", 5, "stale-allow"),
+        ("bad/stale_allow.rs", 10, "bad-allow"),
+        ("bad/stale_allow.rs", 15, "stale-allow"),
+        ("bad/stale_allow.rs", 15, "unordered-collection"),
+        ("bad/system_time.rs", 6, "wall-clock"),
+        ("bad/system_time.rs", 7, "wall-clock"),
+        ("bad/thread_spawn.rs", 6, "thread-spawn"),
+        ("bad/thread_spawn.rs", 9, "thread-spawn"),
+        ("bad/thread_spawn.rs", 16, "thread-spawn"),
+        ("bad/unseeded_random.rs", 7, "unseeded-random"),
+        ("bad/unseeded_random.rs", 9, "unseeded-random"),
+        ("bad/unseeded_random.rs", 14, "unordered-collection"),
+        ("bad/unseeded_random.rs", 14, "unseeded-random"),
+        ("bad/unseeded_random.rs", 15, "unseeded-random"),
+        ("bad/unseeded_random.rs", 19, "unseeded-random"),
+        ("bad/unseeded_random.rs", 23, "unseeded-random"),
+    ];
+    let expected: Vec<(String, usize, String)> = expected
+        .into_iter()
+        .map(|(f, l, r)| (f.to_string(), l, r.to_string()))
+        .collect();
+    assert_eq!(got, expected, "fixture diagnostics drifted from the pre-extraction golden set");
+}
+
+#[test]
 fn json_report_is_renderable_and_lists_rules() {
     let a = fixture_analysis();
     let json = diag::render_json(&a);
+    assert!(json.starts_with(&format!(
+        "{{\n  \"schema_version\": {},\n",
+        bgpscale_detlint::SCHEMA_VERSION
+    )));
     assert!(json.contains("\"violations\": ["));
     assert!(json.contains("\"rule\": \"unordered-collection\""));
     assert!(json.contains("\"ok\": false"));

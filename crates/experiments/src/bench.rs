@@ -254,7 +254,7 @@ pub fn run_bench(cfg: &RunConfig, jobs_list: &[usize]) -> BenchOutput {
             let wall_s = cell_started.elapsed_secs_f64();
             let alloc_delta = alloc::snapshot()
                 .zip(alloc_before)
-                .map(|(now, before)| now.since(&before));
+                .map(|(now, before)| now.delta_since(&before));
             let cost = sw
                 .cost_model(GrowthScenario::Baseline, n, MraiMode::NoWrate)
                 .expect("uncached bench cell always collects a cost model");

@@ -110,6 +110,7 @@ use std::io::Write as _;
 
 use bgpscale_experiments::{bench, figures, htmlreport, perf, profile, trend};
 use bgpscale_experiments::{Figure, RunConfig, Sweeper};
+use bgpscale_experiments::{EXIT_FAIL, EXIT_OK, EXIT_USAGE};
 use bgpscale_obs::ledger::{append_records, read_ledger, LedgerError, LedgerRecord};
 use bgpscale_obs::{log, TraceRecord, TraceWriter};
 use bgpscale_simkernel::Stopwatch;
@@ -136,7 +137,7 @@ fn usage() -> ! {
          exit codes: 0 = ok, 1 = failed run or --check, 2 = usage error \
          (same convention as detlint --check)"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
 struct Options {
@@ -427,10 +428,12 @@ fn write_metrics(
     Ok(())
 }
 
-/// Streams trace records as JSONL through a buffered [`TraceWriter`].
+/// Streams trace records as JSONL through a buffered [`TraceWriter`],
+/// stamped with a schema-version header line.
 fn write_trace(path: &std::path::Path, records: &[TraceRecord]) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut writer = TraceWriter::new(std::io::BufWriter::new(file));
+    writer.write_header()?;
     writer.write_all(records)?;
     writer.finish()?;
     log!(Info, "wrote {} trace records to {}", records.len(), path.display());
@@ -542,11 +545,11 @@ fn append_ledger(opts: &Options, records: &[LedgerRecord]) {
         ),
         Err(e @ LedgerError::Io(_)) => {
             eprintln!("ledger: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_FAIL);
         }
         Err(e) => {
             eprintln!("ledger: {e} (inspect or move {} aside)", path.display());
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     }
 }
@@ -697,6 +700,11 @@ fn write_csv(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
     for (i, table) in fig.tables.iter().enumerate() {
         let path = dir.join(format!("{}_{}.csv", fig.id, i));
         let mut f = std::fs::File::create(path)?;
+        // Stamp the export like every other artifact; `#` keeps the file
+        // readable by gnuplot/pandas comment-skipping loaders.
+        f.write_all(
+            format!("# schema_version={}\n", bgpscale_obs::SCHEMA_VERSION).as_bytes(),
+        )?;
         f.write_all(table.to_csv().as_bytes())?;
     }
     Ok(())
@@ -712,7 +720,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("bench failed: {e}");
-                std::process::exit(1);
+                std::process::exit(EXIT_FAIL);
             }
         }
         return;
@@ -731,10 +739,10 @@ fn main() {
         };
         match result {
             Ok(true) => return,
-            Ok(false) => std::process::exit(1),
+            Ok(false) => std::process::exit(EXIT_FAIL),
             Err(e) => {
                 eprintln!("{} failed: {e}", opts.target);
-                std::process::exit(1);
+                std::process::exit(EXIT_FAIL);
             }
         }
     }
@@ -778,14 +786,14 @@ fn main() {
     if let Some(path) = &opts.metrics_out {
         if let Err(e) = write_metrics(path, sw.metrics()) {
             eprintln!("writing {} failed: {e}", path.display());
-            std::process::exit(1);
+            std::process::exit(EXIT_FAIL);
         }
     }
     if let Some(path) = &opts.trace_out {
         let trace = sw.take_trace();
         if let Err(e) = write_trace(path, &trace) {
             eprintln!("writing {} failed: {e}", path.display());
-            std::process::exit(1);
+            std::process::exit(EXIT_FAIL);
         }
     }
     log!(
@@ -795,7 +803,5 @@ fn main() {
         sw.cached_cells(),
         failed_claims
     );
-    if failed_claims > 0 {
-        std::process::exit(1);
-    }
+    std::process::exit(if failed_claims > 0 { EXIT_FAIL } else { EXIT_OK });
 }

@@ -51,3 +51,15 @@ pub mod trend;
 
 pub use report::{Figure, Table};
 pub use sweep::{CellSeries, RunConfig, Sweeper};
+
+/// Exit code: targets ran and every requested check passed.
+///
+/// The 0/1/2 exit convention is shared workspace-wide (`detlint`,
+/// `detflow`, `repro`) and detflow's artifact-contract pass requires
+/// artifact-writing binaries to route their exits through these named
+/// constants rather than magic numbers.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: a run or a `--check` validation failed.
+pub const EXIT_FAIL: i32 = 1;
+/// Exit code: usage / configuration error.
+pub const EXIT_USAGE: i32 = 2;

@@ -128,6 +128,18 @@ impl<W: Write> TraceWriter<W> {
         TraceWriter { out, written: 0 }
     }
 
+    /// Writes the schema-version header line. Call once, before any
+    /// records, when the sink is a persisted artifact: the workspace
+    /// artifact contract (detflow's artifact-contract pass) requires
+    /// every written file to carry its schema version. The header does
+    /// not count toward [`TraceWriter::written`].
+    pub fn write_header(&mut self) -> io::Result<()> {
+        self.out.write_all(
+            format!("{{\"schema_version\":{},\"kind\":\"trace\"}}\n", crate::SCHEMA_VERSION)
+                .as_bytes(),
+        )
+    }
+
     /// Writes one record as a line.
     pub fn write_record(&mut self, r: &TraceRecord) -> io::Result<()> {
         self.out.write_all(r.to_json_line().as_bytes())?;
@@ -226,5 +238,19 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn header_is_stamped_and_uncounted() {
+        let mut w = TraceWriter::new(Vec::new());
+        w.write_header().unwrap();
+        w.write_record(&rec(1)).unwrap();
+        assert_eq!(w.written(), 1, "the header is not a record");
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        let first = text.lines().next().unwrap();
+        assert_eq!(
+            first,
+            format!("{{\"schema_version\":{},\"kind\":\"trace\"}}", crate::SCHEMA_VERSION)
+        );
     }
 }

@@ -33,7 +33,14 @@ impl AllocSnapshot {
     /// Allocation activity between `earlier` and `self` (call-count and
     /// byte deltas; `peak_bytes` is carried over as the later reading
     /// since a high-water mark cannot be meaningfully subtracted).
-    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+    ///
+    /// Deliberately *not* named `since`: this module is wall-side, and
+    /// `since` is the deterministic tier's delta-method name
+    /// (`SimTime::since`, `OpCounts::since`). detflow's call graph
+    /// resolves ambiguous method names to every workspace impl, so a
+    /// shared name would make every deterministic `.since(..)` call
+    /// look like a wall-side crossing.
+    pub fn delta_since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
         AllocSnapshot {
             allocs: self.allocs.saturating_sub(earlier.allocs),
             bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
@@ -143,7 +150,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn since_subtracts_flow_counters() {
+    fn delta_since_subtracts_flow_counters() {
         let earlier = AllocSnapshot {
             allocs: 10,
             bytes_allocated: 1_000,
@@ -156,7 +163,7 @@ mod tests {
             current_bytes: 500,
             peak_bytes: 900,
         };
-        let d = later.since(&earlier);
+        let d = later.delta_since(&earlier);
         assert_eq!(d.allocs, 15);
         assert_eq!(d.bytes_allocated, 2_000);
         assert_eq!(d.peak_bytes, 900, "peak carries the later high-water mark");

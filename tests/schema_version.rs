@@ -65,6 +65,14 @@ fn timeseries_json_and_bench_json_are_stamped() {
 }
 
 #[test]
+fn trace_header_is_stamped() {
+    let mut w = bgpscale_obs::TraceWriter::new(Vec::new());
+    w.write_header().unwrap();
+    let text = String::from_utf8(w.finish().unwrap()).unwrap();
+    assert_stamped(&text, "trace header");
+}
+
+#[test]
 fn ledger_line_is_stamped() {
     let cfg = PerfConfig {
         scenario: GrowthScenario::Baseline,
