@@ -46,6 +46,26 @@ pub fn preference_key(c: &Candidate<'_>) -> (u8, i64, std::cmp::Reverse<u64>, st
     )
 }
 
+/// [`preference_key`] packed into a single integer, larger-wins, for the
+/// arena's cached-key column: field-by-field lexicographic order over
+/// fixed-width fields is exactly integer order on the packed word.
+///
+/// Layout, most significant first: LOCAL_PREF (8 bits) | inverted path
+/// length (24 bits — paths are bounded by the AS count, far below 2^24)
+/// | inverted next-hop hash (64 bits) | inverted next-hop id (32 bits).
+/// Inversion (`MAX - x` / `!x`) turns each "smaller wins" field into
+/// "larger wins" without reordering equal values, so
+/// `packed_key(a) > packed_key(b)  ⇔  preference_key(a) > preference_key(b)`
+/// and keys for distinct neighbors are always distinct.
+pub fn packed_key(c: &Candidate<'_>) -> u128 {
+    debug_assert!((c.path.len() as u64) < (1 << 24), "AS path length overflows the key layout");
+    let pref = local_pref(RouteSource::Learned(c.rel)) as u128;
+    let inv_len = (0x00FF_FFFF - c.path.len() as u32) as u128;
+    let inv_hash = !hash64(c.neighbor.0 as u64) as u128;
+    let inv_id = !c.neighbor.0 as u128;
+    (pref << 120) | (inv_len << 96) | (inv_hash << 32) | inv_id
+}
+
 /// Selects the best route among `candidates`, returning the index of the
 /// winner, or `None` if there are no candidates.
 ///
@@ -134,6 +154,34 @@ mod tests {
     fn single_candidate_wins() {
         let p: Vec<AsId> = vec![AsId(1)];
         assert_eq!(select_best(&[cand(1, Relationship::Provider, &p)]), Some(0));
+    }
+
+    #[test]
+    fn packed_key_orders_exactly_like_preference_key() {
+        // A grid of candidates crossing every field of the key: both
+        // relations, several path lengths, and neighbor ids chosen to
+        // exercise the hash and raw-id tiebreaks.
+        let paths: Vec<Vec<AsId>> = (1..=5)
+            .map(|l| (1..=l).map(AsId).collect())
+            .collect();
+        let rels = [Relationship::Customer, Relationship::Peer, Relationship::Provider];
+        let mut cands = Vec::new();
+        for rel in rels {
+            for path in &paths {
+                for id in [1u32, 2, 7, 100, 65000] {
+                    cands.push(cand(id, rel, path));
+                }
+            }
+        }
+        for a in &cands {
+            for b in &cands {
+                assert_eq!(
+                    packed_key(a).cmp(&packed_key(b)),
+                    preference_key(a).cmp(&preference_key(b)),
+                    "packed order diverges for {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

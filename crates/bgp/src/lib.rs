@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod config;
 pub mod decision;
 pub mod message;
@@ -39,6 +40,7 @@ pub mod node;
 pub mod policy;
 pub mod rfd;
 
+pub use arena::{DampTable, PrefixTable, SessionSlab};
 pub use bgpscale_obs::{Provenance, RootCauseKind};
 pub use config::{BgpConfig, MraiMode, MraiScope, ServiceTimeModel};
 pub use message::{AsPath, Prefix, Update, UpdateKind};

@@ -62,6 +62,14 @@ impl AsPath {
     pub fn as_slice(&self) -> &[AsId] {
         &self.0
     }
+
+    /// True if both paths share one backing allocation (interned clones of
+    /// the same build). Used by tests to pin the Adj-RIB-out interning
+    /// invariant: exporting one best route to k neighbors must be k
+    /// refcount bumps of a single `prepended` allocation, never k copies.
+    pub fn ptr_eq(a: &AsPath, b: &AsPath) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
 }
 
 impl Default for AsPath {

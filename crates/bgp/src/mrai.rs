@@ -30,8 +30,6 @@
 //! matches real BGP implementations and keeps the paper's update counts
 //! honest.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use bgpscale_obs::Provenance;
 
 use crate::config::{MraiMode, MraiScope};
@@ -61,16 +59,20 @@ pub struct OutQueue {
     scope: MraiScope,
     /// Per-interface scope: the single session timer.
     timer_armed: bool,
-    /// Per-prefix scope: the prefixes whose timers are armed.
-    armed_prefixes: BTreeSet<Prefix>,
-    /// Updates waiting for a timer; at most one per prefix, each with the
-    /// provenance it will carry when flushed. When a newer update replaces
-    /// a queued one, the stamps coalesce (root sets union) so attribution
-    /// survives rate-limiting.
-    pending: BTreeMap<Prefix, (UpdateKind, Provenance)>,
-    /// Adj-RIB-out: the path last actually sent, per prefix. Absent means
-    /// the neighbor holds no route from us (withdrawn or never announced).
-    sent: BTreeMap<Prefix, AsPath>,
+    /// Per-prefix scope: the prefixes whose timers are armed (sorted).
+    armed_prefixes: Vec<Prefix>,
+    /// Updates waiting for a timer, sorted by prefix; at most one per
+    /// prefix, each with the provenance it will carry when flushed. When a
+    /// newer update replaces a queued one, the stamps coalesce (root sets
+    /// union) so attribution survives rate-limiting. Sorted-`Vec` storage
+    /// keeps the flush order identical to the former `BTreeMap` while
+    /// staying dense — queues hold a handful of entries at a time.
+    pending: Vec<(Prefix, UpdateKind, Provenance)>,
+    /// Adj-RIB-out: the path last actually sent, per prefix (sorted).
+    /// Absent means the neighbor holds no route from us (withdrawn or
+    /// never announced). Entries share the export path's `Arc` with the
+    /// node's Loc-RIB — an Adj-RIB-out write is a refcount bump.
+    sent: Vec<(Prefix, AsPath)>,
     /// Cost-model tally: Adj-RIB-out mutations (inserts plus successful
     /// removes). Monotone over the queue's lifetime — survives resets so
     /// phase-boundary snapshots can be diffed (see `obs::costmodel`).
@@ -97,12 +99,48 @@ impl OutQueue {
         OutQueue {
             scope,
             timer_armed: false,
-            armed_prefixes: BTreeSet::new(),
-            pending: BTreeMap::new(),
-            sent: BTreeMap::new(),
+            armed_prefixes: Vec::new(),
+            pending: Vec::new(),
+            sent: Vec::new(),
             rib_out_writes: 0,
             coalesced: 0,
         }
+    }
+
+    // Sorted-Vec primitives for the three per-prefix collections. All
+    // lookups are binary searches; inserts keep the sort.
+
+    // detflow::allow(panic-surface, reason = "binary_search's Ok index is inside the searched Vec by contract")
+    fn sent_get(&self, prefix: Prefix) -> Option<&AsPath> {
+        self.sent
+            .binary_search_by_key(&prefix, |&(p, _)| p)
+            .ok()
+            .map(|i| &self.sent[i].1)
+    }
+
+    // detflow::allow(panic-surface, reason = "on Ok the index is a hit inside sent; on Err it is the sorted insertion point")
+    fn sent_insert(&mut self, prefix: Prefix, path: AsPath) {
+        match self.sent.binary_search_by_key(&prefix, |&(p, _)| p) {
+            Ok(i) => self.sent[i].1 = path,
+            Err(i) => self.sent.insert(i, (prefix, path)),
+        }
+    }
+
+    fn sent_remove(&mut self, prefix: Prefix) -> Option<AsPath> {
+        self.sent
+            .binary_search_by_key(&prefix, |&(p, _)| p)
+            .ok()
+            .map(|i| self.sent.remove(i).1)
+    }
+
+    fn pending_remove(&mut self, prefix: Prefix) -> Option<(UpdateKind, Provenance)> {
+        self.pending
+            .binary_search_by_key(&prefix, |e| e.0)
+            .ok()
+            .map(|i| {
+                let (_, kind, stamp) = self.pending.remove(i);
+                (kind, stamp)
+            })
     }
 
     /// Cost-model tally: Adj-RIB-out mutations so far (monotone).
@@ -124,7 +162,7 @@ impl OutQueue {
     pub fn is_armed(&self, prefix: Prefix) -> bool {
         match self.scope {
             MraiScope::PerInterface => self.timer_armed,
-            MraiScope::PerPrefix => self.armed_prefixes.contains(&prefix),
+            MraiScope::PerPrefix => self.armed_prefixes.binary_search(&prefix).is_ok(),
         }
     }
 
@@ -132,7 +170,9 @@ impl OutQueue {
         match self.scope {
             MraiScope::PerInterface => self.timer_armed = true,
             MraiScope::PerPrefix => {
-                self.armed_prefixes.insert(prefix);
+                if let Err(i) = self.armed_prefixes.binary_search(&prefix) {
+                    self.armed_prefixes.insert(i, prefix);
+                }
             }
         }
     }
@@ -163,28 +203,36 @@ impl OutQueue {
     /// The path the neighbor currently holds from us for `prefix`
     /// (Adj-RIB-out), ignoring anything still queued.
     pub fn advertised(&self, prefix: Prefix) -> Option<&AsPath> {
-        self.sent.get(&prefix)
+        self.sent_get(prefix)
     }
 
     /// What the neighbor will believe once the queue drains: the queued
     /// intent if any, else the Adj-RIB-out.
+    // detflow::allow(panic-surface, reason = "binary_search's Ok index is inside pending by contract")
     pub fn intent(&self, prefix: Prefix) -> Option<&AsPath> {
-        match self.pending.get(&prefix) {
-            Some((UpdateKind::Announce(p), _)) => Some(p),
-            Some((UpdateKind::Withdraw, _)) => None,
-            None => self.sent.get(&prefix),
+        match self.pending.binary_search_by_key(&prefix, |e| e.0) {
+            Ok(i) => match &self.pending[i].1 {
+                UpdateKind::Announce(p) => Some(p),
+                UpdateKind::Withdraw => None,
+            },
+            Err(_) => self.sent_get(prefix),
         }
     }
 
     /// Queues `kind` behind the timer, folding the stamp of any update it
     /// displaces into `cause` so no root loses its attribution.
+    // detflow::allow(panic-surface, reason = "on Ok the index is a hit inside pending; on Err it is the sorted insertion point")
     fn queue_pending(&mut self, prefix: Prefix, kind: UpdateKind, cause: &Provenance) {
         let mut stamp = cause.clone();
-        if let Some((_, displaced)) = self.pending.get(&prefix) {
-            stamp.coalesce_with(displaced);
-            self.coalesced += 1;
+        match self.pending.binary_search_by_key(&prefix, |e| e.0) {
+            Ok(i) => {
+                stamp.coalesce_with(&self.pending[i].2);
+                self.coalesced += 1;
+                self.pending[i].1 = kind;
+                self.pending[i].2 = stamp;
+            }
+            Err(i) => self.pending.insert(i, (prefix, kind, stamp)),
         }
-        self.pending.insert(prefix, (kind, stamp));
     }
 
     /// Submits a new intent for `prefix`: `Some(path)` to announce, `None`
@@ -212,15 +260,15 @@ impl OutQueue {
     fn submit_withdraw(&mut self, prefix: Prefix, mode: MraiMode, cause: &Provenance) -> Submit {
         // A queued announcement that never went out is invalidated: if the
         // neighbor holds nothing, removing it finishes the job silently.
-        self.pending.remove(&prefix);
-        if !self.sent.contains_key(&prefix) {
+        self.pending_remove(prefix);
+        if self.sent_get(prefix).is_none() {
             return Submit::Suppressed;
         }
         match mode {
             MraiMode::NoWrate => {
                 // RFC 1771: withdrawals are never rate-limited and do not
                 // arm the timer.
-                self.sent.remove(&prefix);
+                self.sent_remove(prefix);
                 self.rib_out_writes += 1;
                 Submit::SendNow {
                     update: Update::withdraw(prefix).stamped(cause.clone()),
@@ -232,7 +280,7 @@ impl OutQueue {
                     self.queue_pending(prefix, UpdateKind::Withdraw, cause);
                     Submit::Queued
                 } else {
-                    self.sent.remove(&prefix);
+                    self.sent_remove(prefix);
                     self.rib_out_writes += 1;
                     self.set_armed(prefix);
                     Submit::SendNow {
@@ -250,10 +298,10 @@ impl OutQueue {
             Submit::Queued
         } else {
             debug_assert!(
-                !self.pending.contains_key(&prefix),
+                self.pending.binary_search_by_key(&prefix, |e| e.0).is_err(),
                 "pending update with an idle timer"
             );
-            self.sent.insert(prefix, path.clone());
+            self.sent_insert(prefix, path.clone());
             self.rib_out_writes += 1;
             self.set_armed(prefix);
             Submit::SendNow {
@@ -279,9 +327,11 @@ impl OutQueue {
         match (self.scope, trigger) {
             (MraiScope::PerInterface, None) => {
                 debug_assert!(self.timer_armed, "flush on an idle queue");
+                // The Vec is sorted by prefix, so the drain emits in the
+                // same prefix order the BTreeMap-backed queue did.
                 let pending = std::mem::take(&mut self.pending);
                 let mut out = Vec::with_capacity(pending.len());
-                for (prefix, (kind, stamp)) in pending {
+                for (prefix, kind, stamp) in pending {
                     if let Some(u) = self.emit(prefix, kind, stamp) {
                         out.push(u);
                     }
@@ -292,18 +342,19 @@ impl OutQueue {
             }
             (MraiScope::PerPrefix, Some(prefix)) => {
                 debug_assert!(
-                    self.armed_prefixes.contains(&prefix),
+                    self.armed_prefixes.binary_search(&prefix).is_ok(),
                     "flush on an idle per-prefix timer"
                 );
                 let out: Vec<Update> = self
-                    .pending
-                    .remove(&prefix)
+                    .pending_remove(prefix)
                     .and_then(|(kind, stamp)| self.emit(prefix, kind, stamp))
                     .into_iter()
                     .collect();
                 let rearm = !out.is_empty();
                 if !rearm {
-                    self.armed_prefixes.remove(&prefix);
+                    if let Ok(i) = self.armed_prefixes.binary_search(&prefix) {
+                        self.armed_prefixes.remove(i);
+                    }
                 }
                 (out, rearm)
             }
@@ -320,15 +371,15 @@ impl OutQueue {
     fn emit(&mut self, prefix: Prefix, kind: UpdateKind, stamp: Provenance) -> Option<Update> {
         match kind {
             UpdateKind::Announce(path) => {
-                if self.sent.get(&prefix) == Some(&path) {
+                if self.sent_get(prefix) == Some(&path) {
                     return None; // neighbor already has it
                 }
-                self.sent.insert(prefix, path.clone());
+                self.sent_insert(prefix, path.clone());
                 self.rib_out_writes += 1;
                 Some(Update::announce(prefix, path).stamped(stamp))
             }
             UpdateKind::Withdraw => {
-                let removed = self.sent.remove(&prefix);
+                let removed = self.sent_remove(prefix);
                 if removed.is_some() {
                     self.rib_out_writes += 1;
                 }
@@ -364,10 +415,10 @@ impl OutQueue {
         cause: &Provenance,
     ) -> Option<Update> {
         assert!(!self.timer_armed(), "initial exchange on a rate-limited session");
-        if self.sent.get(&prefix) == Some(&path) {
+        if self.sent_get(prefix) == Some(&path) {
             return None;
         }
-        self.sent.insert(prefix, path.clone());
+        self.sent_insert(prefix, path.clone());
         self.rib_out_writes += 1;
         Some(Update::announce(prefix, path).stamped(cause.clone()))
     }
@@ -380,7 +431,9 @@ impl OutQueue {
         match (self.scope, prefix) {
             (MraiScope::PerInterface, None) => self.timer_armed = true,
             (MraiScope::PerPrefix, Some(p)) => {
-                self.armed_prefixes.insert(p);
+                if let Err(i) = self.armed_prefixes.binary_search(&p) {
+                    self.armed_prefixes.insert(i, p);
+                }
             }
             (scope, prefix) => {
                 debug_assert!(false, "arm_timer {prefix:?} does not match scope {scope:?}");

@@ -12,22 +12,30 @@
 //! → re-run the decision process → if the best route changed, run the
 //! export filter for every neighbor and submit the new intent (announce /
 //! withdraw / nothing) to that neighbor's output queue.
+//!
+//! ## Memory layout
+//!
+//! All per-node state is arena-backed (see [`crate::arena`]): sessions
+//! and the AS-id → slot lookup live in a [`SessionSlab`] shared by every
+//! node of a topology through an `Arc`; per-prefix state lives in the
+//! structure-of-arrays [`PrefixTable`]; damping history in the flat
+//! [`DampTable`]. A standalone node built with [`BgpNode::new`] owns a
+//! private one-node slab; the simulator builds one topology-wide slab and
+//! hands every node a clone of the `Arc` via [`BgpNode::from_slab`].
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bgpscale_obs::Provenance;
 use bgpscale_simkernel::SimTime;
 use bgpscale_topology::{AsId, Relationship};
 
+use crate::arena::{DampTable, PrefixTable, SessionSlab, SELF_SLOT};
 use crate::config::{MraiMode, MraiScope};
 use crate::decision::preference_key;
 use crate::message::{AsPath, Prefix, Update, UpdateKind};
 use crate::mrai::{OutQueue, Submit};
 use crate::policy::{export_allowed, would_loop, RouteSource};
-use crate::rfd::{DampState, FlapKind, RfdConfig};
-
-/// Sentinel slot index meaning "the route is self-originated".
-const SELF_SLOT: u32 = u32::MAX;
+use crate::rfd::{FlapKind, RfdConfig};
 
 /// One configured neighbor session.
 #[derive(Clone, Copy, Debug)]
@@ -93,49 +101,37 @@ impl Actions {
     }
 }
 
-/// The selected best route for one prefix.
-#[derive(Clone, PartialEq, Eq, Debug)]
-struct Best {
-    /// Slot the route was learned from, or [`SELF_SLOT`].
-    slot: u32,
-    /// The AS path as received (empty for self-originated routes).
-    path: AsPath,
-}
-
-/// Per-prefix routing state.
-#[derive(Clone, Debug)]
-struct PrefixState {
-    /// Adj-RIB-in: the path most recently announced by each neighbor slot.
-    rib_in: Vec<Option<AsPath>>,
-    /// True while this node originates the prefix.
-    originated: bool,
-    /// Loc-RIB: the current best route.
-    best: Option<Best>,
-}
-
-impl PrefixState {
-    fn new(slots: usize) -> Self {
-        PrefixState {
-            rib_in: vec![None; slots],
-            originated: false,
-            best: None,
-        }
-    }
+/// How a decision re-run may be narrowed.
+///
+/// With damping off (the paper's configuration), a change confined to one
+/// Adj-RIB-in slot cannot displace the incumbent best route without
+/// beating it head-to-head — [`crate::decision::preference_key`] is a
+/// strict total order — so the decision process runs in O(1) instead of
+/// O(degree). `Full` rescans every slot: originations, RFD eligibility
+/// changes, and any change to the incumbent's own slot.
+#[derive(Clone, Copy, Debug)]
+enum Reeval {
+    /// Rescan every Adj-RIB-in slot.
+    Full,
+    /// Only this slot's Adj-RIB-in entry changed since the last run.
+    SlotChanged(u32),
 }
 
 /// A BGP speaker for one AS.
 #[derive(Clone, Debug)]
 pub struct BgpNode {
     id: AsId,
-    sessions: Vec<Session>,
-    slot_of: BTreeMap<AsId, u32>,
+    /// The topology-wide session arena; this node reads its own stripe.
+    slab: Arc<SessionSlab>,
+    /// This node's index into the slab's id spaces.
+    slab_idx: u32,
     mode: MraiMode,
     /// Sender-side loop detection (§4.1). On by default; the ablation
     /// benches disable it to quantify how much churn it suppresses.
     sender_loop_check: bool,
-    /// Keyed with a BTreeMap so that whole-table operations (session
-    /// resets) iterate prefixes in a deterministic order.
-    prefixes: BTreeMap<Prefix, PrefixState>,
+    /// Per-prefix SoA state: Adj-RIB-in columns, origination flags and the
+    /// Loc-RIB best, addressed by sorted prefix row.
+    table: PrefixTable,
     out: Vec<OutQueue>,
     /// Per-slot session liveness. A down session receives no exports and
     /// contributes no routes; see [`BgpNode::session_down`].
@@ -145,7 +141,7 @@ pub struct BgpNode {
     rfd: Option<RfdConfig>,
     /// Damping state per (slot, prefix); entries exist only for routes
     /// with flap history.
-    damp: BTreeMap<(u32, Prefix), DampState>,
+    damp: DampTable,
     /// Cost-model tallies (see [`NodeCostCounters`]); monotone over the
     /// node's lifetime, surviving [`BgpNode::reset_routing`] so
     /// phase-boundary snapshots can be diffed.
@@ -174,30 +170,33 @@ pub struct NodeCostCounters {
 }
 
 impl BgpNode {
-    /// Creates a speaker with the given neighbor sessions.
+    /// Creates a standalone speaker with the given neighbor sessions,
+    /// backed by a private one-node [`SessionSlab`].
     ///
     /// # Panics
     /// Panics if a neighbor appears twice or equals `id`.
     pub fn new(id: AsId, sessions: Vec<Session>, mode: MraiMode) -> Self {
-        let mut slot_of = BTreeMap::new();
-        for (i, s) in sessions.iter().enumerate() {
-            assert_ne!(s.peer, id, "session with self at {id}");
-            let prev = slot_of.insert(s.peer, i as u32);
-            assert!(prev.is_none(), "duplicate session {id}–{}", s.peer);
-        }
-        let out = sessions.iter().map(|_| OutQueue::new()).collect();
-        let active = vec![true; sessions.len()];
+        let slab = SessionSlab::for_single(id, sessions);
+        Self::from_slab(id, slab, 0, mode)
+    }
+
+    /// Creates a speaker reading its sessions from stripe `slab_idx` of a
+    /// shared [`SessionSlab`]. This is the simulator's constructor: one
+    /// slab is built per topology and every node holds an `Arc` clone, so
+    /// instantiating a node allocates no per-session lookup state.
+    pub fn from_slab(id: AsId, slab: Arc<SessionSlab>, slab_idx: u32, mode: MraiMode) -> Self {
+        let degree = slab.degree(slab_idx);
         BgpNode {
             id,
-            sessions,
-            slot_of,
+            table: PrefixTable::new(degree),
+            out: (0..degree).map(|_| OutQueue::new()).collect(),
+            active: vec![true; degree as usize],
+            slab,
+            slab_idx,
             mode,
             sender_loop_check: true,
-            prefixes: BTreeMap::new(),
-            out,
-            active,
             rfd: None,
-            damp: BTreeMap::new(),
+            damp: DampTable::new(),
             costs: NodeCostCounters::default(),
         }
     }
@@ -223,14 +222,16 @@ impl BgpNode {
         if let Some(cfg) = &rfd {
             cfg.check().unwrap_or_else(|e| panic!("invalid RFD config: {e}"));
         }
+        // The sorted candidate order is only exact relative to one
+        // eligibility regime; flipping damping on or off invalidates it
+        // wholesale (rows rebuild on their next undamped decision run).
+        self.table.invalidate_orders();
         self.rfd = rfd;
     }
 
     /// True if the route from `slot` for `prefix` is currently damped.
     pub fn is_suppressed(&self, slot: u32, prefix: Prefix) -> bool {
-        self.damp
-            .get(&(slot, prefix))
-            .is_some_and(|s| s.suppressed)
+        self.damp.get(slot, prefix).is_some_and(|s| s.suppressed)
     }
 
     /// Switches the MRAI timer granularity (default:
@@ -241,13 +242,11 @@ impl BgpNode {
     /// Panics if the node already holds routing state.
     pub fn set_mrai_scope(&mut self, scope: MraiScope) {
         assert!(
-            self.prefixes.is_empty(),
+            self.table.is_empty(),
             "{}: cannot change MRAI scope with live routing state",
             self.id
         );
-        self.out = self
-            .sessions
-            .iter()
+        self.out = (0..self.active.len())
             .map(|_| OutQueue::with_scope(scope))
             .collect();
     }
@@ -274,12 +273,24 @@ impl BgpNode {
 
     /// The configured sessions, in slot order.
     pub fn sessions(&self) -> &[Session] {
-        &self.sessions
+        self.slab.sessions(self.slab_idx)
+    }
+
+    /// The shared session slab this node reads its stripe from.
+    pub fn slab(&self) -> &Arc<SessionSlab> {
+        &self.slab
+    }
+
+    /// Deterministic estimate of this node's arena-resident bytes (prefix
+    /// table plus damping table; the shared session slab is counted once
+    /// by its owner, not per node).
+    pub fn arena_bytes(&self) -> u64 {
+        self.table.arena_bytes() + self.damp.arena_bytes()
     }
 
     /// The slot of neighbor `peer`, if it is one.
     pub fn slot_of(&self, peer: AsId) -> Option<u32> {
-        self.slot_of.get(&peer).copied()
+        self.slab.slot_of(self.slab_idx, peer)
     }
 
     /// The MRAI withdrawal mode this speaker runs.
@@ -291,11 +302,12 @@ impl BgpNode {
     /// next-hop neighbor (`None` when self-originated) and the AS path as
     /// learned (the next hop is its first element).
     pub fn best_route(&self, prefix: Prefix) -> Option<(Option<AsId>, &AsPath)> {
-        let best = self.prefixes.get(&prefix)?.best.as_ref()?;
-        if best.slot == SELF_SLOT {
-            Some((None, &best.path))
+        let row = self.table.row(prefix)?;
+        let (slot, path) = self.table.best(row)?;
+        if slot == SELF_SLOT {
+            Some((None, path))
         } else {
-            Some((Some(self.sessions[best.slot as usize].peer), &best.path))
+            Some((Some(self.sessions()[slot as usize].peer), path))
         }
     }
 
@@ -305,7 +317,7 @@ impl BgpNode {
     }
 
     /// True while `slot`'s MRAI timer is armed.
-    // detflow::allow(panic-surface, reason = "slot is a session index minted by this node's own slot_of map; out holds one queue per session by construction")
+    // detflow::allow(panic-surface, reason = "slot is a session index minted by this node's own slab lookup; out holds one queue per session by construction")
     pub fn timer_armed(&self, slot: u32) -> bool {
         self.out[slot as usize].timer_armed()
     }
@@ -327,13 +339,9 @@ impl BgpNode {
     /// exports. The unstamped entry points delegate here with
     /// [`Provenance::none`]; stamping never changes routing behavior.
     pub fn originate_caused(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
-        let slots = self.sessions.len();
-        let st = self
-            .prefixes
-            .entry(prefix)
-            .or_insert_with(|| PrefixState::new(slots));
-        st.originated = true;
-        self.reevaluate(prefix, cause)
+        let row = self.table.row_or_insert(prefix);
+        self.table.set_originated(row, true);
+        self.reevaluate(row, prefix, cause, Reeval::Full)
     }
 
     /// Stops originating `prefix` (the "DOWN" half of a C-event).
@@ -343,13 +351,9 @@ impl BgpNode {
 
     /// [`BgpNode::withdraw_origin`] with a provenance stamp.
     pub fn withdraw_origin_caused(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
-        let slots = self.sessions.len();
-        let st = self
-            .prefixes
-            .entry(prefix)
-            .or_insert_with(|| PrefixState::new(slots));
-        st.originated = false;
-        self.reevaluate(prefix, cause)
+        let row = self.table.row_or_insert(prefix);
+        self.table.set_originated(row, false);
+        self.reevaluate(row, prefix, cause, Reeval::Full)
     }
 
     /// Processes one UPDATE received from `from`, with damping disabled
@@ -368,22 +372,18 @@ impl BgpNode {
     ///
     /// # Panics
     /// Panics if `from` is not a configured neighbor.
-    // detflow::allow(panic-surface, reason = "non-neighbor senders are a documented panic (# Panics above); every rib_in/sessions index is the slot_of-minted slot, and the prefix entry is created earlier in this fn")
+    // detflow::allow(panic-surface, reason = "non-neighbor senders are a documented panic (# Panics above); every arena access uses the slab-minted slot and the row created earlier in this fn")
     pub fn handle_update_at(&mut self, from: AsId, update: Update, now: SimTime) -> Actions {
-        let slot = *self
-            .slot_of
-            .get(&from)
+        let slot = self
+            .slab
+            .slot_of(self.slab_idx, from)
             .unwrap_or_else(|| panic!("{}: update from non-neighbor {from}", self.id));
         let prefix = update.prefix;
         // Exports triggered by this message are one causal hop further from
         // the root cause than the message itself. Computed before the match
         // below consumes the update.
         let cause = update.provenance.child();
-        let slots = self.sessions.len();
-        let st = self
-            .prefixes
-            .entry(prefix)
-            .or_insert_with(|| PrefixState::new(slots));
+        let row = self.table.row_or_insert(prefix);
 
         // Receiver-side loop detection: a path containing our own AS is
         // ineligible (RFC 4271) and supersedes whatever the neighbor
@@ -400,18 +400,17 @@ impl BgpNode {
         // re-advertisements and path changes are flaps (RFC 2439).
         let mut wakeups = Vec::new();
         if let Some(cfg) = self.rfd.clone() {
-            let key = (slot, prefix);
-            let prev = &st.rib_in[slot as usize];
-            let flap = match (&prev, &incoming) {
+            let prev = self.table.rib_in_cell(row, slot);
+            let flap = match (prev, &incoming) {
                 (Some(_), None) => Some(FlapKind::Withdrawal),
                 (Some(old), Some(new)) if *old != *new => Some(FlapKind::AttributeChange),
-                (None, Some(_)) if self.damp.contains_key(&key) => {
+                (None, Some(_)) if self.damp.get(slot, prefix).is_some() => {
                     Some(FlapKind::Readvertisement)
                 }
                 _ => None,
             };
             if let Some(kind) = flap {
-                let state = self.damp.entry(key).or_default();
+                let state = self.damp.get_or_insert(slot, prefix);
                 if state.charge(kind, now, &cfg) {
                     if let Some(at) = state.reuse_time(&cfg) {
                         wakeups.push((slot, prefix, at));
@@ -420,10 +419,9 @@ impl BgpNode {
             }
         }
 
-        let st = self.prefixes.get_mut(&prefix).expect("created above");
-        st.rib_in[slot as usize] = incoming;
+        self.table.set_rib_in(row, slot, incoming);
 
-        let mut actions = self.reevaluate(prefix, &cause);
+        let mut actions = self.reevaluate(row, prefix, &cause, Reeval::SlotChanged(slot));
         actions.rfd_wakeups.extend(wakeups);
         actions
     }
@@ -448,13 +446,16 @@ impl BgpNode {
         let Some(cfg) = self.rfd.clone() else {
             return Actions::default();
         };
-        let Some(state) = self.damp.get_mut(&(slot, prefix)) else {
+        let Some(state) = self.damp.get_mut(slot, prefix) else {
             return Actions::default();
         };
-        if state.maybe_reuse(now, &cfg) && self.prefixes.contains_key(&prefix) {
-            self.reevaluate(prefix, cause)
-        } else {
-            Actions::default()
+        if !state.maybe_reuse(now, &cfg) {
+            return Actions::default();
+        }
+        match self.table.row(prefix) {
+            // Eligibility changed, so the incumbent may now lose: full run.
+            Some(row) => self.reevaluate(row, prefix, cause, Reeval::Full),
+            None => Actions::default(),
         }
     }
 
@@ -486,17 +487,18 @@ impl BgpNode {
         assert!(self.active[slot as usize], "{}: session {slot} already down", self.id);
         self.active[slot as usize] = false;
         self.out[slot as usize].force_reset();
-        self.damp.retain(|&(s, _), _| s != slot);
+        self.damp.clear_slot(slot);
         let mut actions = Actions::default();
-        let affected: Vec<Prefix> = self
-            .prefixes
-            .iter()
-            .filter(|(_, st)| st.rib_in[slot as usize].is_some())
-            .map(|(&p, _)| p)
+        // Rows are only ever appended by row_or_insert, never removed, so
+        // the indices collected here stay valid across the reevaluations.
+        let affected: Vec<(usize, Prefix)> = self
+            .table
+            .iter_rows()
+            .filter(|&(row, _)| self.table.rib_in_cell(row, slot).is_some())
             .collect();
-        for prefix in affected {
-            self.prefixes.get_mut(&prefix).expect("collected above").rib_in[slot as usize] = None;
-            let a = self.reevaluate(prefix, cause);
+        for (row, prefix) in affected {
+            self.table.set_rib_in(row, slot, None);
+            let a = self.reevaluate(row, prefix, cause, Reeval::SlotChanged(slot));
             actions.merge(a);
         }
         actions
@@ -520,18 +522,20 @@ impl BgpNode {
         self.active[slot as usize] = true;
         debug_assert!(!self.out[slot as usize].timer_armed());
         let mut actions = Actions::default();
-        let session = self.sessions[slot as usize];
+        let session = self.sessions()[slot as usize];
         let stamp = cause.with_rel(session.rel);
+        // Iterating rows walks prefixes in sorted order — the same
+        // deterministic replay order the BTreeMap-backed table produced.
         let snapshot: Vec<(Prefix, u32, AsPath)> = self
-            .prefixes
-            .iter()
-            .filter_map(|(&p, st)| st.best.as_ref().map(|b| (p, b.slot, b.path.clone())))
+            .table
+            .iter_rows()
+            .filter_map(|(row, p)| self.table.best(row).map(|(s, path)| (p, s, path.clone())))
             .collect();
         for (prefix, best_slot, path) in snapshot {
             let source = if best_slot == SELF_SLOT {
                 RouteSource::SelfOriginated
             } else {
-                RouteSource::Learned(self.sessions[best_slot as usize].rel)
+                RouteSource::Learned(self.sessions()[best_slot as usize].rel)
             };
             if !export_allowed(source, session.rel)
                 || (self.sender_loop_check && would_loop(&path, session.peer))
@@ -605,52 +609,125 @@ impl BgpNode {
     /// Panics if any MRAI timer is still armed (see
     /// [`crate::mrai::OutQueue::reset`]).
     pub fn reset_routing(&mut self) {
-        self.prefixes.clear();
+        self.table.clear();
         self.damp.clear();
         for q in &mut self.out {
             q.reset();
         }
     }
 
-    /// Re-runs the decision process for `prefix`; on a best-route change,
-    /// runs the export filters and submits new intents to every output
-    /// queue. Each submission is stamped with `cause` plus the sending
-    /// edge's Gao–Rexford relation, so attribution survives MRAI
-    /// coalescing downstream.
-    // detflow::allow(panic-surface, reason = "every caller creates the prefix entry before delegating here; slot indices enumerate sessions, and rib_in/out are sized to sessions.len() at session setup")
-    fn reevaluate(&mut self, prefix: Prefix, cause: &Provenance) -> Actions {
+    /// Rebuilds the row's sorted candidate order from scratch — one
+    /// binary-search insertion per held route, every key comparison
+    /// counted. Only needed after the order was invalidated (damping
+    /// reconfiguration, or a row maintained while damping was on).
+    // detflow::allow(panic-surface, reason = "row is a live row index and the rib_in stripe enumerates exactly this node's session slots, which index the slab stripe by construction")
+    fn rebuild_order(&mut self, row: usize) {
+        self.table.order_clear_row(row);
+        let sessions = self.slab.sessions(self.slab_idx);
+        let keyed: Vec<(u32, u128)> = self
+            .table
+            .rib_in(row)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, entry)| {
+                entry.as_ref().map(|path| {
+                    let key = crate::decision::packed_key(&crate::decision::Candidate {
+                        neighbor: sessions[i].peer,
+                        rel: sessions[i].rel,
+                        path: path.as_slice(),
+                    });
+                    (i as u32, key)
+                })
+            })
+            .collect();
+        for (slot, key) in keyed {
+            self.costs.route_comparisons += self.table.order_insert(row, slot, key);
+        }
+        self.table.set_order_valid(row, true);
+    }
+
+    /// Re-runs the decision process for row `row` (holding `prefix`); on a
+    /// best-route change, runs the export filters and submits new intents
+    /// to every output queue. Each submission is stamped with `cause` plus
+    /// the sending edge's Gao–Rexford relation, so attribution survives
+    /// MRAI coalescing downstream.
+    ///
+    /// `hint` narrows the decision (see [`Reeval`]); it is only honored
+    /// with damping off — RFD changes route *eligibility* independently of
+    /// the Adj-RIB-in, invalidating the single-slot reasoning.
+    // detflow::allow(panic-surface, reason = "every caller resolves the prefix to a live row before delegating here; slot indices enumerate the slab stripe, and rib_in/out/active are sized to the node's degree at construction")
+    fn reevaluate(&mut self, row: usize, prefix: Prefix, cause: &Provenance, hint: Reeval) -> Actions {
         self.costs.decision_runs += 1;
-        let st = self.prefixes.get_mut(&prefix).expect("state exists");
+
+        // Keep the row's sorted candidate order exact *before* anything
+        // else — including the self-origination early exit below — so the
+        // column never goes stale while a row is originated. Only the
+        // hinted slot's Adj-RIB-in cell changed: a withdrawal is a
+        // positional remove (zero preference comparisons) and an
+        // announcement one binary-search insert under the cached packed
+        // key. Damped runs skip maintenance and mark the row stale
+        // instead: suppression changes route eligibility without touching
+        // the Adj-RIB-in, so the order cannot be trusted again until a
+        // counted rebuild.
+        if let Reeval::SlotChanged(s) = hint {
+            if self.rfd.is_some() {
+                self.table.set_order_valid(row, false);
+            } else if self.table.order_valid(row) {
+                let sessions = self.slab.sessions(self.slab_idx);
+                let key = self.table.rib_in_cell(row, s).as_ref().map(|path| {
+                    crate::decision::packed_key(&crate::decision::Candidate {
+                        neighbor: sessions[s as usize].peer,
+                        rel: sessions[s as usize].rel,
+                        path: path.as_slice(),
+                    })
+                });
+                self.costs.route_comparisons += self.table.order_update(row, s, key);
+            }
+        }
 
         // Decision process.
-        let new_best: Option<Best> = if st.originated {
-            Some(Best {
-                slot: SELF_SLOT,
-                path: AsPath::new(),
-            })
-        } else {
+        let new_best: Option<(u32, AsPath)> = 'best: {
+            if self.table.originated(row) {
+                break 'best Some((SELF_SLOT, AsPath::new()));
+            }
+            if self.rfd.is_none() {
+                if !self.table.order_valid(row) {
+                    self.rebuild_order(row);
+                }
+                break 'best self.table.order_best(row).map(|slot| {
+                    let path = self
+                        .table
+                        .rib_in_cell(row, slot)
+                        .clone()
+                        .expect("ordered slot holds a route");
+                    (slot, path)
+                });
+            }
+            // Damped rescan: suppressed routes are stored but ineligible
+            // (RFC 2439), so the sorted order is no shortcut here — scan
+            // every eligible candidate under the full preference order.
+            let sessions = self.slab.sessions(self.slab_idx);
             let mut winner: Option<(u32, &AsPath)> = None;
-            for (i, entry) in st.rib_in.iter().enumerate() {
+            for (i, entry) in self.table.rib_in(row).iter().enumerate() {
                 let Some(path) = entry else { continue };
-                // Damped routes are stored but ineligible (RFC 2439).
                 if self
                     .damp
-                    .get(&(i as u32, prefix))
+                    .get(i as u32, prefix)
                     .is_some_and(|d| d.suppressed)
                 {
                     continue;
                 }
                 let cand = crate::decision::Candidate {
-                    neighbor: self.sessions[i].peer,
-                    rel: self.sessions[i].rel,
+                    neighbor: sessions[i].peer,
+                    rel: sessions[i].rel,
                     path: path.as_slice(),
                 };
                 let better = match winner {
                     None => true,
                     Some((wslot, wpath)) => {
                         let wcand = crate::decision::Candidate {
-                            neighbor: self.sessions[wslot as usize].peer,
-                            rel: self.sessions[wslot as usize].rel,
+                            neighbor: sessions[wslot as usize].peer,
+                            rel: sessions[wslot as usize].rel,
                             path: wpath.as_slice(),
                         };
                         self.costs.route_comparisons += 1;
@@ -661,27 +738,28 @@ impl BgpNode {
                     winner = Some((i as u32, path));
                 }
             }
-            winner.map(|(slot, path)| Best {
-                slot,
-                path: path.clone(),
-            })
+            winner.map(|(slot, path)| (slot, path.clone()))
         };
 
-        if st.best == new_best {
+        let unchanged = match (self.table.best(row), &new_best) {
+            (None, None) => true,
+            (Some((s, p)), Some((ns, np))) => s == *ns && p == np,
+            _ => false,
+        };
+        if unchanged {
             return Actions::default();
         }
-        st.best = new_best;
-        let best = st.best.clone();
+        self.table.set_best(row, new_best.clone());
 
         // Export phase.
         let mut actions = Actions::default();
-        match best {
+        match new_best {
             None => {
-                for slot in 0..self.sessions.len() as u32 {
+                for slot in 0..self.active.len() as u32 {
                     if !self.active[slot as usize] {
                         continue;
                     }
-                    let session = self.sessions[slot as usize];
+                    let session = self.slab.sessions(self.slab_idx)[slot as usize];
                     let scope = self.out[slot as usize].scope();
                     let submit = self.out[slot as usize].submit(
                         prefix,
@@ -692,27 +770,29 @@ impl BgpNode {
                     actions.absorb(slot, submit, scope);
                 }
             }
-            Some(best) => {
-                let source = if best.slot == SELF_SLOT {
+            Some((best_slot, best_path)) => {
+                let sessions = self.slab.sessions(self.slab_idx);
+                let source = if best_slot == SELF_SLOT {
                     RouteSource::SelfOriginated
                 } else {
-                    RouteSource::Learned(self.sessions[best.slot as usize].rel)
+                    RouteSource::Learned(sessions[best_slot as usize].rel)
                 };
                 // The exported path: ourselves prepended to the best path.
-                // Built once; every queue below shares it by refcount.
-                let export_path = AsPath::prepended(self.id, &best.path);
+                // Built once; every queue below shares it by refcount, so
+                // exporting to k neighbors is k refcount bumps.
+                let export_path = AsPath::prepended(self.id, &best_path);
                 self.costs.path_intern_misses += 1;
-                for slot in 0..self.sessions.len() as u32 {
+                for slot in 0..sessions.len() as u32 {
                     if !self.active[slot as usize] {
                         continue;
                     }
-                    let session = self.sessions[slot as usize];
+                    let session = sessions[slot as usize];
                     // The Gao–Rexford filter plus sender-side loop
                     // detection (the best path necessarily contains the
                     // neighbor it was learned from, so this also prevents
                     // echoing a route back to its sender).
                     let intent = if export_allowed(source, session.rel)
-                        && !(self.sender_loop_check && would_loop(&best.path, session.peer))
+                        && !(self.sender_loop_check && would_loop(&best_path, session.peer))
                     {
                         self.costs.path_intern_hits += 1;
                         Some(export_path.clone())
@@ -1166,7 +1246,8 @@ mod tests {
         assert_eq!(c.path_intern_misses, 1);
         assert_eq!(c.path_intern_hits, 2);
         assert_eq!(c.rib_out_writes, 2, "announced to peer and provider");
-        // A competing provider route triggers exactly one comparison.
+        // A competing provider route triggers exactly one comparison:
+        // the incremental decision challenges the incumbent head-to-head.
         n.handle_update(AsId(3), Update::announce(P, vec![AsId(3), AsId(9)]));
         let c2 = n.cost_counters();
         assert_eq!(c2.decision_runs, 2);
@@ -1189,5 +1270,111 @@ mod tests {
         assert_eq!(n.advertised(0, P), None, "never sent back to learner");
         assert!(n.timer_armed(1));
         assert!(!n.timer_armed(0));
+    }
+
+    /// The Adj-RIB-out interning invariant: one best-route change builds
+    /// the export path once, and every neighbor's Adj-RIB-out entry holds
+    /// a refcount bump of that single allocation.
+    #[test]
+    fn export_to_many_neighbors_shares_one_path_allocation() {
+        let mut n = BgpNode::new(
+            AsId(0),
+            vec![
+                session(1, Relationship::Customer),
+                session(2, Relationship::Peer),
+                session(3, Relationship::Provider),
+                session(4, Relationship::Peer),
+            ],
+            MraiMode::NoWrate,
+        );
+        n.handle_update(AsId(1), Update::announce(P, vec![AsId(1), AsId(9)]));
+        let exported: Vec<&AsPath> = (1..4).filter_map(|s| n.advertised(s, P)).collect();
+        assert_eq!(exported.len(), 3, "customer route reaches the other three");
+        for path in &exported[1..] {
+            assert!(
+                AsPath::ptr_eq(exported[0], path),
+                "Adj-RIB-out entries must share the export path's allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_share_one_session_slab() {
+        let slab = SessionSlab::build(
+            2,
+            |i| AsId(i as u32),
+            &[
+                vec![session(1, Relationship::Peer)],
+                vec![session(0, Relationship::Peer)],
+            ],
+        );
+        let mut a = BgpNode::from_slab(AsId(0), slab.clone(), 0, MraiMode::NoWrate);
+        let b = BgpNode::from_slab(AsId(1), slab.clone(), 1, MraiMode::NoWrate);
+        assert!(Arc::ptr_eq(a.slab(), b.slab()), "one slab serves every node");
+        assert_eq!(a.slot_of(AsId(1)), Some(0));
+        assert_eq!(b.slot_of(AsId(0)), Some(0));
+        assert_eq!(a.sessions().len(), 1);
+        let acts = a.originate(P);
+        assert_eq!(sends_to(&acts), vec![0]);
+        assert!(a.arena_bytes() > 0, "prefix rows are accounted");
+        assert_eq!(b.arena_bytes(), 0, "untouched node holds no prefix state");
+    }
+
+    /// The incremental (hint-narrowed) decision must be observationally
+    /// identical to a brute-force rescan: drive one node through a long
+    /// seeded announce/withdraw trace while mirroring the Adj-RIB-in in
+    /// the test, and after every step recompute the best route from
+    /// scratch and compare.
+    #[test]
+    fn incremental_decision_matches_a_brute_force_mirror() {
+        use bgpscale_simkernel::{Rng, Xoshiro256StarStar};
+        let sessions = vec![
+            session(1, Relationship::Customer),
+            session(2, Relationship::Customer),
+            session(3, Relationship::Peer),
+            session(4, Relationship::Provider),
+            session(5, Relationship::Provider),
+        ];
+        let mut n = BgpNode::new(AsId(0), sessions.clone(), MraiMode::NoWrate);
+        let mut mirror: Vec<Option<AsPath>> = vec![None; sessions.len()];
+        let mut g = Xoshiro256StarStar::new(0xA11_0CA7);
+        for _ in 0..400 {
+            let slot = g.next_below(5) as usize;
+            let peer = sessions[slot].peer;
+            if g.next_below(3) == 0 {
+                n.handle_update(peer, Update::withdraw(P));
+                mirror[slot] = None;
+            } else {
+                let path = vec![peer, AsId(6 + g.next_below(4) as u32), AsId(9)];
+                n.handle_update(peer, Update::announce(P, path.clone()));
+                mirror[slot] = Some(AsPath::from(path));
+            }
+            let mut want: Option<(u32, &AsPath)> = None;
+            for (i, entry) in mirror.iter().enumerate() {
+                let Some(path) = entry else { continue };
+                let cand = crate::decision::Candidate {
+                    neighbor: sessions[i].peer,
+                    rel: sessions[i].rel,
+                    path: path.as_slice(),
+                };
+                let better = match want {
+                    None => true,
+                    Some((w, wp)) => {
+                        let wcand = crate::decision::Candidate {
+                            neighbor: sessions[w as usize].peer,
+                            rel: sessions[w as usize].rel,
+                            path: wp.as_slice(),
+                        };
+                        preference_key(&cand) > preference_key(&wcand)
+                    }
+                };
+                if better {
+                    want = Some((i as u32, path));
+                }
+            }
+            let got = n.best_route(P).map(|(nh, p)| (nh, p.clone()));
+            let want = want.map(|(s, p)| (Some(sessions[s as usize].peer), p.clone()));
+            assert_eq!(got, want, "incremental decision diverged from rescan");
+        }
     }
 }

@@ -58,6 +58,12 @@ pub struct ExperimentConfig {
     /// failure path: the harness panics with the budget snapshot, which
     /// `repro profile` catches and renders.
     pub event_limit: Option<u64>,
+    /// Timing-wheel slot-granularity override (bits per wheel level);
+    /// `None` keeps the simkernel default. Results are backend-invariant,
+    /// so this only moves the op-count mix — which is exactly what the
+    /// perf mutation gate (`repro perf --wheel-bits`) perturbs to prove
+    /// the gate bites.
+    pub wheel_slot_bits: Option<u32>,
 }
 
 /// Churn summary for one node type.
@@ -440,7 +446,9 @@ impl ExperimentSetup {
         // worker) stamps its own instance from it.
         let template = {
             let _span = bgpscale_obs::span!("build_template");
-            SimTemplate::new(Arc::clone(&graph), cfg.bgp.clone())
+            let mut t = SimTemplate::new(Arc::clone(&graph), cfg.bgp.clone());
+            t.set_wheel_slot_bits(cfg.wheel_slot_bits);
+            t
         };
 
         ExperimentSetup {
@@ -522,6 +530,7 @@ mod tests {
             seed,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         })
     }
 
@@ -544,6 +553,7 @@ mod tests {
             seed: 0xDE7,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         };
         let sequential = run_experiment_jobs(&cfg, 1);
         for jobs in [4, 8] {
@@ -569,6 +579,7 @@ mod tests {
             seed: 0xDE7,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         };
         let base = run_experiment_observed(&cfg, 1, Some(5));
         let base_json = base.metrics.to_json();
@@ -607,6 +618,7 @@ mod tests {
             seed: 0xDE7,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         };
         let opts = ObserveOptions {
             trace_sample: None,
@@ -661,6 +673,7 @@ mod tests {
             seed: 0xDE7,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         };
         let (base_report, base_cost) = run_experiment_with_cost(&cfg, 1);
         let base_json = base_cost.to_json();
@@ -683,6 +696,52 @@ mod tests {
         assert_eq!(base_json, observed.cost.to_json(), "observed cost diverged");
     }
 
+    /// Satellite of the memory-layout PR: a wheel-granularity override
+    /// keeps every deterministic artifact byte-identical for
+    /// jobs = 1, 4, 8, and the churn report equal to the
+    /// default-granularity run — only the queue op-count mix may move.
+    #[test]
+    fn wheel_backed_run_is_byte_identical_across_jobs() {
+        let mut cfg = ExperimentConfig {
+            scenario: GrowthScenario::Baseline,
+            n: 200,
+            events: 6,
+            seed: 0xDE7,
+            bgp: BgpConfig::default(),
+            event_limit: None,
+            wheel_slot_bits: Some(6),
+        };
+        let base = run_experiment_observed(&cfg, 1, Some(5));
+        let base_json = base.metrics.to_json();
+        let base_cost = base.cost.to_json();
+        let base_trace: String = base
+            .trace
+            .iter()
+            .map(|r| r.to_json_line() + "\n")
+            .collect();
+        assert!(!base.trace.is_empty(), "sampled trace should have records");
+        for jobs in [4, 8] {
+            let other = run_experiment_observed(&cfg, jobs, Some(5));
+            assert_eq!(base_json, other.metrics.to_json(), "metrics diverged at jobs={jobs}");
+            assert_eq!(base_cost, other.cost.to_json(), "costmodel diverged at jobs={jobs}");
+            let other_trace: String = other
+                .trace
+                .iter()
+                .map(|r| r.to_json_line() + "\n")
+                .collect();
+            assert_eq!(base_trace, other_trace, "trace diverged at jobs={jobs}");
+            assert_eq!(base.report, other.report, "report diverged at jobs={jobs}");
+        }
+        // Pop order is granularity-invariant: the simulated outcome of
+        // the overridden run equals the default-granularity run.
+        cfg.wheel_slot_bits = None;
+        let default_run = run_experiment_jobs(&cfg, 1);
+        assert_eq!(
+            base.report, default_run,
+            "slot-granularity override changed simulated results"
+        );
+    }
+
     /// Provenance-enabled runs leave the churn report unchanged: stamps
     /// are telemetry riding along the messages, never protocol input.
     #[test]
@@ -694,6 +753,7 @@ mod tests {
             seed: 21,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         };
         let plain = run_experiment_jobs(&cfg, 1);
         let observed = run_experiment_observed_with(
@@ -727,6 +787,7 @@ mod tests {
             seed: 21,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         };
         let plain = run_experiment_jobs(&cfg, 1);
         let observed = run_experiment_observed(&cfg, 1, None);

@@ -43,6 +43,7 @@
 //!     seed: 7,
 //!     bgp: Default::default(),
 //!     event_limit: None,
+//!     wheel_slot_bits: None,
 //! });
 //! // Tier-1 nodes hear about every C-event at least twice (DOWN + UP).
 //! assert!(report.by_type(NodeType::T).u_total >= 2.0);

@@ -20,12 +20,12 @@
 use std::sync::Arc;
 
 use bgpscale_bgp::node::Actions;
-use bgpscale_bgp::{BgpConfig, BgpNode, Prefix, Update};
+use bgpscale_bgp::{BgpConfig, BgpNode, Prefix, SessionSlab, Update};
 use bgpscale_obs::{
     EventKind, NoopObserver, OpCounts, Provenance, RootCauseKind, SimObserver, UpdateClass,
 };
 use bgpscale_simkernel::rng::{Rng, Xoshiro256StarStar};
-use bgpscale_simkernel::{EventQueue, SimDuration, SimTime};
+use bgpscale_simkernel::{EventQueue, QueueBackend, SimDuration, SimTime};
 use bgpscale_topology::{AsGraph, AsId};
 
 use crate::churn::ChurnCollector;
@@ -129,6 +129,10 @@ pub struct Simulator<O: SimObserver = NoopObserver> {
     obs: O,
     graph: Arc<AsGraph>,
     cfg: BgpConfig,
+    /// The session slab shared by every node (and by the template that
+    /// stamped this simulator out). Owns the global session id space that
+    /// flat per-session side tables like `mrai_epoch` index into.
+    slab: Arc<SessionSlab>,
     nodes: Vec<BgpNode>,
     /// Per-node FIFO input queue: (sender, message).
     inbox: Vec<std::collections::VecDeque<(AsId, Update)>>,
@@ -142,8 +146,11 @@ pub struct Simulator<O: SimObserver = NoopObserver> {
     last_activity: SimTime,
     event_limit: u64,
     /// Per-(node, slot) MRAI epoch; bumped by session resets so stale
-    /// expiry events can be recognized and dropped.
-    mrai_epoch: Vec<Vec<u32>>,
+    /// expiry events can be recognized and dropped. One flat `u32` per
+    /// session in the slab's global session id space, indexed by
+    /// [`Simulator::session_ix`] — a single allocation instead of one
+    /// `Vec` per node.
+    mrai_epoch: Vec<u32>,
     /// Links currently failed, stored as `(min, max)` endpoint pairs.
     down_links: std::collections::BTreeSet<(AsId, AsId)>,
     /// Messages lost because their link failed while they were in flight.
@@ -181,49 +188,87 @@ fn link_key(a: AsId, b: AsId) -> (AsId, AsId) {
 /// Rebuilding the node array from the graph for each event repeats the
 /// session/adjacency construction work; a template does it once and
 /// [`SimTemplate::instantiate`] stamps out simulators by cloning the clean
-/// nodes (cheap: pristine RIBs are empty, and session tables are shared
-/// behind `Arc` inside [`BgpNode`]). Templates are `Send + Sync`, so one
-/// template can feed every worker of a parallel fan-out.
+/// nodes (cheap: pristine RIBs are empty, and the session slab — one
+/// contiguous [`SessionSlab`] covering every node's adjacency — is shared
+/// behind a single `Arc` by the template and every node of every
+/// instantiation). Templates are `Send + Sync`, so one template can feed
+/// every worker of a parallel fan-out.
 #[derive(Clone)]
 pub struct SimTemplate {
     graph: Arc<AsGraph>,
     cfg: BgpConfig,
+    slab: Arc<SessionSlab>,
     nodes: Vec<BgpNode>,
+    /// Timing-wheel slot-granularity override for stamped-out simulators;
+    /// `None` keeps the simkernel default. Exists for the perf mutation
+    /// gate (`repro perf --wheel-bits`), which perturbs the granularity
+    /// and asserts the op-count gate catches the drift.
+    wheel_slot_bits: Option<u32>,
 }
 
 impl SimTemplate {
     /// Builds the blueprint. Neighbor sessions take the adjacency order of
-    /// the graph, which keeps everything deterministic.
+    /// the graph, which keeps everything deterministic: the whole
+    /// topology's sessions land in one arena (`SessionSlab::build`), and
+    /// each node holds a slab handle plus its index instead of a private
+    /// session table.
     ///
     /// # Panics
     /// Panics if `cfg` fails validation.
     pub fn new(graph: Arc<AsGraph>, cfg: BgpConfig) -> SimTemplate {
         cfg.check()
             .unwrap_or_else(|e| panic!("invalid BGP config: {e}"));
-        let nodes: Vec<BgpNode> = graph
-            .node_ids()
-            .map(|id| {
-                let sessions = graph
+        let ids: Vec<AsId> = graph.node_ids().collect();
+        let sessions_of: Vec<Vec<bgpscale_bgp::node::Session>> = ids
+            .iter()
+            .map(|&id| {
+                graph
                     .neighbors(id)
                     .iter()
                     .map(|nb| bgpscale_bgp::node::Session {
                         peer: nb.id,
                         rel: nb.rel,
                     })
-                    .collect();
-                let mut node = BgpNode::new(id, sessions, cfg.mrai_mode);
+                    .collect()
+            })
+            .collect();
+        let slab = SessionSlab::build(ids.len(), |i| ids[i], &sessions_of);
+        let nodes: Vec<BgpNode> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let mut node = BgpNode::from_slab(id, Arc::clone(&slab), i as u32, cfg.mrai_mode);
                 node.set_mrai_scope(cfg.mrai_scope);
                 node.set_sender_side_loop_detection(cfg.sender_side_loop_detection);
                 node.set_rfd(cfg.rfd.clone());
                 node
             })
             .collect();
-        SimTemplate { graph, cfg, nodes }
+        SimTemplate {
+            graph,
+            cfg,
+            slab,
+            nodes,
+            wheel_slot_bits: None,
+        }
     }
 
     /// The topology this template simulates.
     pub fn graph(&self) -> &AsGraph {
         &self.graph
+    }
+
+    /// The shared session slab (global session id space).
+    pub fn slab(&self) -> &Arc<SessionSlab> {
+        &self.slab
+    }
+
+    /// Overrides the timing-wheel slot granularity of stamped-out
+    /// simulators (`None` restores the default). Bits outside the wheel's
+    /// accepted range will panic at instantiation, matching
+    /// `TimingWheel::new`.
+    pub fn set_wheel_slot_bits(&mut self, bits: Option<u32>) {
+        self.wheel_slot_bits = bits;
     }
 
     /// Stamps out a fresh simulator with its own RNG stream.
@@ -236,19 +281,20 @@ impl SimTemplate {
     pub fn instantiate_observed<O: SimObserver>(&self, seed: u64, obs: O) -> Simulator<O> {
         let n = self.graph.len();
         let churn = ChurnCollector::new(&self.graph);
-        let mrai_epoch = self
-            .graph
-            .node_ids()
-            .map(|id| vec![0u32; self.graph.degree(id)])
-            .collect();
+        let mrai_epoch = vec![0u32; self.slab.total_sessions()];
+        let queue = match self.wheel_slot_bits {
+            Some(slot_bits) => EventQueue::with_backend(QueueBackend::Wheel { slot_bits }),
+            None => EventQueue::with_capacity(1024),
+        };
         Simulator {
             obs,
             graph: Arc::clone(&self.graph),
             cfg: self.cfg.clone(),
+            slab: Arc::clone(&self.slab),
             nodes: self.nodes.clone(),
             inbox: vec![std::collections::VecDeque::new(); n],
             busy: vec![false; n],
-            queue: EventQueue::with_capacity(1024),
+            queue,
             rng: Xoshiro256StarStar::new(seed),
             churn,
             last_activity: SimTime::ZERO,
@@ -352,6 +398,19 @@ impl<O: SimObserver> Simulator<O> {
         self.messages_dropped
     }
 
+    /// Which priority-queue backend this simulator's event queue runs on.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
+    }
+
+    /// Flat index of `(node, slot)` in the slab's global session id
+    /// space — the row of `mrai_epoch` for that session. Node index and
+    /// slab index coincide by construction ([`SimTemplate::new`] builds
+    /// the slab from `graph.node_ids()` in order).
+    fn session_ix(&self, node: AsId, slot: u32) -> usize {
+        (self.slab.first_session(node.index() as u32) + slot) as usize
+    }
+
     /// True if the `a`–`b` link is currently failed.
     pub fn link_down(&self, a: AsId, b: AsId) -> bool {
         self.down_links.contains(&link_key(a, b))
@@ -389,7 +448,8 @@ impl<O: SimObserver> Simulator<O> {
         let cause = self.new_root(RootCauseKind::SessionDown, a);
         for (x, y) in [(a, b), (b, a)] {
             let slot = self.nodes[x.index()].slot_of(y).expect("adjacent");
-            self.mrai_epoch[x.index()][slot as usize] += 1;
+            let epoch_ix = self.session_ix(x, slot);
+            self.mrai_epoch[epoch_ix] += 1;
             // `session_down` force-resets the output queue, silently
             // disarming its timers; account for them before they vanish so
             // the occupancy gauge stays exact.
@@ -586,7 +646,7 @@ impl<O: SimObserver> Simulator<O> {
                 epoch,
                 prefix,
             } => {
-                if epoch != self.mrai_epoch[node.index()][slot as usize] {
+                if epoch != self.mrai_epoch[self.session_ix(node, slot)] {
                     return; // stale expiry from before a session reset
                 }
                 // A valid expiry consumes one armed timer; a rearm in the
@@ -628,7 +688,7 @@ impl<O: SimObserver> Simulator<O> {
         }
         for slot in actions.arm_timers {
             let delay = self.draw_mrai_interval();
-            let epoch = self.mrai_epoch[node.index()][slot as usize];
+            let epoch = self.mrai_epoch[self.session_ix(node, slot)];
             self.queue.schedule(
                 now + delay,
                 SimEvent::MraiExpire {
@@ -641,7 +701,7 @@ impl<O: SimObserver> Simulator<O> {
         }
         for (slot, prefix) in actions.arm_prefix_timers {
             let delay = self.draw_mrai_interval();
-            let epoch = self.mrai_epoch[node.index()][slot as usize];
+            let epoch = self.mrai_epoch[self.session_ix(node, slot)];
             self.queue.schedule(
                 now + delay,
                 SimEvent::MraiExpire {
@@ -667,8 +727,10 @@ impl<O: SimObserver> Simulator<O> {
     /// The current cost-model snapshot: event-queue op tallies plus every
     /// node's decision/path/RIB counters plus the simulator's own
     /// delivery and MRAI counters, folded into one [`OpCounts`]. All
-    /// constituents are monotone, so two snapshots can be subtracted to
-    /// attribute work to the interval between them (see
+    /// constituents are monotone within a C-event — `arena_bytes_reserved`
+    /// is a footprint gauge, but arenas only grow until the inter-event
+    /// [`Simulator::reset_routing`] — so two snapshots can be subtracted
+    /// to attribute work to the interval between them (see
     /// [`bgpscale_obs::costmodel`]).
     pub fn cost_counts(&self) -> OpCounts {
         let q = self.queue.op_counts();
@@ -677,9 +739,13 @@ impl<O: SimObserver> Simulator<O> {
             queue_pops: q.pops,
             queue_decreases: q.decreases,
             queue_comparisons: q.comparisons,
+            queue_cascades: q.cascades,
             deliveries: self.deliveries,
             mrai_armed: self.mrai_armed_total,
             mrai_fired: self.mrai_fired,
+            // The slab is immutable and shared; count it once, not per
+            // node. Per-node tables are added below.
+            arena_bytes_reserved: self.slab.arena_bytes(),
             ..OpCounts::default()
         };
         for node in &self.nodes {
@@ -690,6 +756,7 @@ impl<O: SimObserver> Simulator<O> {
             c.path_intern_hits += n.path_intern_hits;
             c.path_intern_misses += n.path_intern_misses;
             c.mrai_coalesced += n.mrai_coalesced;
+            c.arena_bytes_reserved += node.arena_bytes();
         }
         c
     }
@@ -908,6 +975,73 @@ mod tests {
         assert_eq!(end_a.queue_pushes, end_a.queue_pops);
         assert!(end_a.decision_runs > 0);
         assert!(end_a.mrai_armed >= end_a.mrai_fired);
+    }
+
+    #[test]
+    fn template_shares_one_session_slab_across_nodes_and_instances() {
+        let (g, ids) = chain_graph();
+        let template = SimTemplate::new(Arc::new(g), BgpConfig::default());
+        let slab = Arc::clone(template.slab());
+        assert_eq!(slab.len(), 6);
+        assert_eq!(slab.total_sessions(), 10, "5 links, 2 sessions each");
+        let mut a = template.instantiate(1);
+        let b = template.instantiate(2);
+        for sim in [&a, &b] {
+            for &id in &ids {
+                assert!(
+                    Arc::ptr_eq(sim.node(id).slab(), &slab),
+                    "{id} must borrow the template slab, not own a copy"
+                );
+            }
+        }
+        // The flat epoch table spans the global session id space and the
+        // stamped-out simulator still converges.
+        a.originate(ids[4], P);
+        a.run_to_quiescence().unwrap();
+        assert!(a.node(ids[0]).best_route(P).is_some());
+    }
+
+    #[test]
+    fn wheel_slot_bits_override_changes_the_backend_not_the_results() {
+        let (g, ids) = chain_graph();
+        let g = Arc::new(g);
+        let mut template = SimTemplate::new(Arc::clone(&g), BgpConfig::default());
+        let run = |t: &SimTemplate| {
+            let mut sim = t.instantiate(5);
+            sim.churn_mut().set_enabled(true);
+            sim.originate(ids[4], P);
+            sim.run_to_quiescence().unwrap();
+            (sim.queue_backend(), sim.churn().total(), sim.now())
+        };
+        let (default_backend, churn_default, now_default) = run(&template);
+        assert!(matches!(default_backend, QueueBackend::Wheel { .. }));
+        template.set_wheel_slot_bits(Some(4));
+        let (coarse_backend, churn_coarse, now_coarse) = run(&template);
+        assert_eq!(coarse_backend, QueueBackend::Wheel { slot_bits: 4 });
+        // Pop order is backend-invariant, so the simulation results are
+        // too — only the op-count mix (cascades vs comparisons) moves.
+        assert_eq!(churn_default, churn_coarse);
+        assert_eq!(now_default, now_coarse);
+    }
+
+    #[test]
+    fn cost_counts_report_arena_footprint_and_cascades() {
+        let (g, ids) = chain_graph();
+        let template = SimTemplate::new(Arc::new(g), BgpConfig::default());
+        let mut sim = template.instantiate(17);
+        let empty = sim.cost_counts().arena_bytes_reserved;
+        assert!(empty > 0, "the session slab alone reserves bytes");
+        sim.originate(ids[4], P);
+        sim.run_to_quiescence().unwrap();
+        let routed = sim.cost_counts();
+        assert!(
+            routed.arena_bytes_reserved > empty,
+            "prefix rows grew the arenas: {} !> {empty}",
+            routed.arena_bytes_reserved
+        );
+        // The wheel cascades on long waits (MRAI expiries sit several
+        // levels up); the counter must flow through to OpCounts.
+        assert!(routed.queue_cascades > 0, "expected wheel cascades");
     }
 
     #[test]

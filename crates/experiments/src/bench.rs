@@ -42,6 +42,21 @@ use crate::sweep::{RunConfig, Sweeper};
 /// How many timed samples each micro-benchmark takes (after one warmup).
 pub const BENCH_SAMPLES: usize = 5;
 
+/// The default `repro bench` size sweep. Wider than [`RunConfig::quick`]
+/// (which feeds the figure targets): the scaling-law fits need leverage
+/// past the knee, and the 10k/20k tail is where the memory-layout and
+/// event-queue work shows up or doesn't.
+pub const DEFAULT_BENCH_SIZES: &[usize] = &[1_000, 2_000, 3_000, 4_000, 5_000, 10_000, 20_000];
+
+/// Default AS count for the frontier cell (Internet scale, §6 of the
+/// paper's projection range).
+pub const FRONTIER_N: usize = 70_000;
+
+/// Default C-event count for the frontier cell — reduced, because the
+/// point is "does an Internet-scale topology fit and finish", not
+/// statistics.
+pub const FRONTIER_EVENTS: usize = 3;
+
 /// One timed micro-benchmark: the median and the raw samples behind it.
 #[derive(Clone, Debug)]
 pub struct Timing {
@@ -122,6 +137,57 @@ pub struct BenchCell {
     pub alloc_bytes: Option<u64>,
 }
 
+/// One single-size Internet-scale cell run on one core after the sweep:
+/// proof that a 70k-AS topology builds, runs a reduced-event Baseline
+/// cell to completion, and what it costs in wall time and peak RSS.
+#[derive(Clone, Debug)]
+pub struct FrontierCell {
+    pub n: usize,
+    pub events: usize,
+    pub wall_s: f64,
+    /// Injected C-events per wall second.
+    pub events_per_s: f64,
+    /// Simulator events (queue pops) per wall second — the throughput
+    /// figure the scaling acceptance compares across sweep sizes.
+    pub sim_events_per_s: f64,
+    /// Exact op counts of the cell (integer-only, deterministic).
+    pub ops: OpCounts,
+    /// Process peak RSS (`VmHWM`) observed after the cell finished —
+    /// at 70k ASes the frontier cell dominates the process high-water
+    /// mark, so this is effectively the cell's footprint.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Runs the frontier cell: Baseline NO-WRATE at `n` with `events`
+/// C-events on one worker.
+pub fn run_frontier(n: usize, events: usize, seed: u64) -> FrontierCell {
+    log!(Info, "bench: frontier cell Baseline n={n} events={events} jobs=1 …");
+    let cfg = RunConfig {
+        sizes: vec![n],
+        events,
+        seed,
+    };
+    let mut sw = Sweeper::new(cfg);
+    sw.set_jobs(1);
+    let started = Stopwatch::start();
+    sw.report(GrowthScenario::Baseline, n, MraiMode::NoWrate);
+    let wall_s = started.elapsed_secs_f64();
+    let ops = sw
+        .cost_model(GrowthScenario::Baseline, n, MraiMode::NoWrate)
+        .expect("uncached frontier cell always collects a cost model")
+        .total();
+    log!(Info, "bench: frontier cell finished in {wall_s:.2}s");
+    FrontierCell {
+        n,
+        events,
+        wall_s,
+        events_per_s: events as f64 / wall_s,
+        sim_events_per_s: ops.queue_pops as f64 / wall_s,
+        ops,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
 /// One full sweep at a fixed worker count.
 #[derive(Clone, Debug)]
 pub struct BenchRun {
@@ -149,6 +215,10 @@ pub struct BenchOutput {
     pub exponents: Vec<CostExponent>,
     /// Peak resident set size of this process (Linux `VmHWM`), bytes.
     pub peak_rss_bytes: Option<u64>,
+    /// The Internet-scale frontier cell, when one was run (the default;
+    /// tests and `--no-frontier` skip it). Filled in by the caller after
+    /// [`run_bench`] — the sweep and the frontier are timed separately.
+    pub frontier: Option<FrontierCell>,
     /// The first run's per-cell cost models, `(n, model)` in sweep order —
     /// deterministic, identical across runs (the cross-run assert holds
     /// reports equal), kept so the run ledger can content-hash each
@@ -164,6 +234,7 @@ fn first_cell_config(cfg: &RunConfig) -> ExperimentConfig {
         seed: cfg.seed,
         bgp: Default::default(),
         event_limit: None,
+        wheel_slot_bits: None,
     }
 }
 
@@ -310,6 +381,7 @@ pub fn run_bench(cfg: &RunConfig, jobs_list: &[usize]) -> BenchOutput {
         overhead,
         exponents,
         peak_rss_bytes: peak_rss_bytes(),
+        frontier: None,
         first_run_costs,
     }
 }
@@ -351,6 +423,28 @@ pub fn render_json(cfg: &RunConfig, out: &BenchOutput, git_rev: &str) -> String 
         "  \"peak_rss_bytes\": {},\n",
         opt_u64(out.peak_rss_bytes)
     ));
+    match &out.frontier {
+        None => json.push_str("  \"frontier_cell\": null,\n"),
+        Some(f) => {
+            json.push_str("  \"frontier_cell\": {\n");
+            json.push_str(
+                "    \"comment\": \"Internet-scale single cell, jobs=1: does a 70k-AS topology build and finish, and at what footprint\",\n",
+            );
+            json.push_str(&format!("    \"n\": {},\n", f.n));
+            json.push_str(&format!("    \"events\": {},\n", f.events));
+            json.push_str(&format!("    \"wall_s\": {:.6},\n", f.wall_s));
+            json.push_str(&format!("    \"events_per_s\": {:.3},\n", f.events_per_s));
+            json.push_str(&format!("    \"sim_events_per_s\": {:.1},\n", f.sim_events_per_s));
+            json.push_str(&format!("    \"queue_pops\": {},\n", f.ops.queue_pops));
+            json.push_str(&format!("    \"deliveries\": {},\n", f.ops.deliveries));
+            json.push_str(&format!("    \"total_ops\": {},\n", f.ops.grand_total()));
+            json.push_str(&format!(
+                "    \"peak_rss_bytes\": {}\n",
+                opt_u64(f.peak_rss_bytes)
+            ));
+            json.push_str("  },\n");
+        }
+    }
     json.push_str("  \"observer_overhead\": {\n");
     json.push_str(&format!(
         "    \"comment\": \"first-size cell, jobs=1, median of {BENCH_SAMPLES} after 1 warmup; off = NoopObserver (static dispatch); negative raw overhead is scheduling noise, reported clamped at 0 with noise_floor set\",\n"
@@ -412,12 +506,14 @@ pub fn render_json(cfg: &RunConfig, out: &BenchOutput, git_rev: &str) -> String 
         for (j, c) in run.cells.iter().enumerate() {
             json.push_str(&format!(
                 "        {{ \"n\": {}, \"wall_s\": {:.6}, \"events_per_s\": {:.3}, \
+                 \"sim_events_per_s\": {:.1}, \
                  \"queue_pushes\": {}, \"queue_pops\": {}, \"queue_comparisons\": {}, \
                  \"deliveries\": {}, \"decision_runs\": {}, \"total_ops\": {}, \
                  \"alloc_allocs\": {}, \"alloc_bytes\": {} }}{}\n",
                 c.n,
                 c.wall_s,
                 c.events_per_s,
+                c.ops.queue_pops as f64 / c.wall_s,
                 c.ops.queue_pushes,
                 c.ops.queue_pops,
                 c.ops.queue_comparisons,
@@ -485,6 +581,8 @@ mod tests {
         let json = render_json(&cfg, &out, "testrev");
         assert!(json.starts_with("{\n  \"schema_version\": "));
         assert!(json.contains("\"peak_rss_bytes\": "));
+        assert!(json.contains("\"frontier_cell\": null"), "no frontier unless requested");
+        assert!(json.contains("\"sim_events_per_s\": "));
         assert!(json.contains("\"queue_pushes\": "));
         assert!(json.contains("\"alloc_allocs\": "));
         assert!(json.contains("\"metrics_overhead_raw_pct\": "));
@@ -498,6 +596,23 @@ mod tests {
         // The clamped headline value is never negative.
         assert!(out.overhead.metrics_overhead.pct >= 0.0);
         assert!(out.overhead.trace_overhead.pct >= 0.0);
+    }
+
+    #[test]
+    fn frontier_cell_runs_and_renders() {
+        let cfg = tiny_cfg();
+        let mut out = run_bench(&cfg, &[1]);
+        // A miniature frontier: same machinery, test-scale n.
+        out.frontier = Some(run_frontier(200, 2, cfg.seed));
+        let f = out.frontier.as_ref().unwrap();
+        assert_eq!(f.n, 200);
+        assert!(f.wall_s > 0.0);
+        assert!(f.ops.queue_pops > 0, "frontier cell must simulate something");
+        assert!(f.sim_events_per_s > 0.0);
+        let json = render_json(&cfg, &out, "testrev");
+        assert!(json.contains("\"frontier_cell\": {"));
+        assert!(json.contains("\"n\": 200,"));
+        assert!(!json.contains("\"frontier_cell\": null"));
     }
 
     #[test]

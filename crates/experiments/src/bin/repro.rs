@@ -68,6 +68,15 @@
 //!   --bench-jobs a,b,c  (bench only) worker counts to compare
 //!                       (default: 1,8)
 //!   --out <file>   (bench only) output path (default BENCH_harness.json)
+//!
+//!   bench uses its own default sweep (1000..20000, see
+//!   `bench::DEFAULT_BENCH_SIZES`) unless --tiny/--quick/--full/--sizes
+//!   is given. The default sweep finishes with an Internet-scale
+//!   frontier cell (~minutes); scale-overridden runs skip it unless a
+//!   --frontier-* flag asks for one explicitly:
+//!   --frontier-n <n>      frontier cell AS count (default 70000)
+//!   --frontier-events <k> frontier cell C-events (default 3)
+//!   --no-frontier         skip the frontier cell
 //!   --metrics-out <file>  write the deterministic metrics registry of
 //!                  every computed cell as JSON (byte-identical for any
 //!                  --jobs value)
@@ -131,7 +140,7 @@ fn usage() -> ! {
          [--metrics-out FILE] [--trace-out FILE] [--trace-sample N] \
          [--scenario S] [--cell-n N] [--event-limit N] [--bin-us N] \
          [--report-out FILE] [--timeseries-out FILE] [--check] \
-         [--bless] [--perturb SEED] [--baseline-dir DIR] [--costmodel-out FILE] \
+         [--bless] [--perturb SEED] [--wheel-bits N] [--baseline-dir DIR] [--costmodel-out FILE] \
          [--ledger FILE] [--no-ledger] [--ledger-rev REV] [--trend-out FILE] \
          [--window K] [--band PCT] [--exp-band X]\n\
          exit codes: 0 = ok, 1 = failed run or --check, 2 = usage error \
@@ -150,6 +159,8 @@ struct Options {
     bench_jobs: Vec<usize>,
     /// `bench`: where to write the JSON report.
     bench_out: std::path::PathBuf,
+    /// `bench`: the frontier cell's `(n, events)`; `None` skips it.
+    frontier: Option<(usize, usize)>,
     /// Write the merged deterministic metrics registry here.
     metrics_out: Option<std::path::PathBuf>,
     /// Write sampled JSONL trace records here.
@@ -174,6 +185,9 @@ struct Options {
     bless: bool,
     /// `perf`: deterministically corrupt one counter before comparison.
     perturb: Option<u64>,
+    /// `perf`: run on a timing wheel with this slot granularity (the
+    /// tick-granularity mutation axis; see `PerfConfig::wheel_slot_bits`).
+    wheel_bits: Option<u32>,
     /// `perf`: where the checked-in baselines live.
     baseline_dir: std::path::PathBuf,
     /// `perf`: also write the measured cost model here.
@@ -196,6 +210,11 @@ fn parse_args() -> Options {
     let mut jobs = 0;
     let mut bench_jobs = vec![1, 8];
     let mut bench_out = std::path::PathBuf::from("BENCH_harness.json");
+    let mut cfg_overridden = false;
+    let mut frontier_n = bench::FRONTIER_N;
+    let mut frontier_events = bench::FRONTIER_EVENTS;
+    let mut frontier_requested = false;
+    let mut no_frontier = false;
     let mut metrics_out = None;
     let mut trace_out = None;
     let mut trace_sample = 1u64;
@@ -208,6 +227,7 @@ fn parse_args() -> Options {
     let mut check = false;
     let mut bless = false;
     let mut perturb = None;
+    let mut wheel_bits = None;
     let mut baseline_dir = std::path::PathBuf::from("results/perf-baselines");
     let mut costmodel_out = None;
     let mut ledger = Some(std::path::PathBuf::from("results/ledger/runs.jsonl"));
@@ -216,9 +236,18 @@ fn parse_args() -> Options {
     let mut trend_opts = trend::TrendOptions::default();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--tiny" => cfg = RunConfig::tiny().with_seed(cfg.seed),
-            "--quick" => cfg = RunConfig::quick().with_seed(cfg.seed),
-            "--full" => cfg = RunConfig::full().with_seed(cfg.seed),
+            "--tiny" => {
+                cfg = RunConfig::tiny().with_seed(cfg.seed);
+                cfg_overridden = true;
+            }
+            "--quick" => {
+                cfg = RunConfig::quick().with_seed(cfg.seed);
+                cfg_overridden = true;
+            }
+            "--full" => {
+                cfg = RunConfig::full().with_seed(cfg.seed);
+                cfg_overridden = true;
+            }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cfg.seed = v.parse().unwrap_or_else(|_| usage());
@@ -236,6 +265,7 @@ fn parse_args() -> Options {
                 if cfg.sizes.is_empty() {
                     usage();
                 }
+                cfg_overridden = true;
             }
             "--csv" => {
                 let v = args.next().unwrap_or_else(|| usage());
@@ -255,6 +285,17 @@ fn parse_args() -> Options {
                     usage();
                 }
             }
+            "--frontier-n" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                frontier_n = v.parse().unwrap_or_else(|_| usage());
+                frontier_requested = true;
+            }
+            "--frontier-events" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                frontier_events = v.parse().unwrap_or_else(|_| usage());
+                frontier_requested = true;
+            }
+            "--no-frontier" => no_frontier = true,
             "--out" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 bench_out = std::path::PathBuf::from(v);
@@ -306,6 +347,10 @@ fn parse_args() -> Options {
             }
             "--check" => check = true,
             "--bless" => bless = true,
+            "--wheel-bits" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                wheel_bits = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--perturb" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 perturb = Some(v.parse().unwrap_or_else(|_| usage()));
@@ -358,6 +403,13 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
+    if target == "bench" && !cfg_overridden {
+        cfg.sizes = bench::DEFAULT_BENCH_SIZES.to_vec();
+    }
+    // The frontier cell takes minutes: it rides along with the default
+    // full sweep, but a scale-overridden run (--tiny/--quick/--sizes,
+    // the CI and smoke-test shapes) only gets one on explicit request.
+    let want_frontier = !no_frontier && (!cfg_overridden || frontier_requested);
     Options {
         target,
         cfg,
@@ -365,6 +417,7 @@ fn parse_args() -> Options {
         jobs,
         bench_jobs,
         bench_out,
+        frontier: want_frontier.then_some((frontier_n, frontier_events)),
         metrics_out,
         trace_out,
         trace_sample,
@@ -377,6 +430,7 @@ fn parse_args() -> Options {
         check,
         bless,
         perturb,
+        wheel_bits,
         baseline_dir,
         costmodel_out,
         ledger,
@@ -451,6 +505,7 @@ fn run_profile_target(opts: &Options) -> std::io::Result<bool> {
         jobs: opts.jobs,
         trace_sample: opts.trace_out.as_ref().map(|_| opts.trace_sample),
         event_limit: opts.event_limit,
+        wheel_slot_bits: opts.wheel_bits,
     };
     let out = match profile::run_profile(&cfg) {
         Ok(out) => out,
@@ -601,14 +656,19 @@ fn run_trend_target(opts: &Options) -> i32 {
 }
 
 /// `repro bench`: time the Baseline NO-WRATE sweep once per requested
-/// worker count and write `BENCH_harness.json` (measurement and JSON
-/// rendering live in [`bench`]).
+/// worker count, run the Internet-scale frontier cell (unless
+/// `--no-frontier`), and write `BENCH_harness.json` (measurement and
+/// JSON rendering live in [`bench`]).
 fn run_bench(
     cfg: &RunConfig,
     jobs_list: &[usize],
+    frontier: Option<(usize, usize)>,
     out: &std::path::Path,
 ) -> std::io::Result<bench::BenchOutput> {
-    let measured = bench::run_bench(cfg, jobs_list);
+    let mut measured = bench::run_bench(cfg, jobs_list);
+    if let Some((n, events)) = frontier {
+        measured.frontier = Some(bench::run_frontier(n, events, cfg.seed));
+    }
     std::fs::write(out, bench::render_json(cfg, &measured, &git_rev()))?;
     log!(Info, "bench: wrote {}", out.display());
     Ok(measured)
@@ -630,6 +690,7 @@ fn run_perf_target(opts: &Options) -> i32 {
             jobs,
             baseline_dir: opts.baseline_dir.clone(),
             perturb: opts.perturb,
+            wheel_slot_bits: opts.wheel_bits,
         };
         log!(
             Info,
@@ -666,9 +727,10 @@ fn run_perf_target(opts: &Options) -> i32 {
             }
             m
         };
-        // A `--perturb` run carries a deliberately corrupted counter —
-        // never let it into history.
-        if opts.perturb.is_none() {
+        // A `--perturb` run carries a deliberately corrupted counter and
+        // a `--wheel-bits` run a non-default queue granularity (same
+        // results, different op mix) — never let either into history.
+        if opts.perturb.is_none() && opts.wheel_bits.is_none() {
             records.push(trend::record_from_perf(&cfg, &measurement, &rev));
         }
         if let Some(path) = &opts.costmodel_out {
@@ -713,7 +775,7 @@ fn write_csv(dir: &std::path::Path, fig: &Figure) -> std::io::Result<()> {
 fn main() {
     let opts = parse_args();
     if opts.target == "bench" {
-        match run_bench(&opts.cfg, &opts.bench_jobs, &opts.bench_out) {
+        match run_bench(&opts.cfg, &opts.bench_jobs, opts.frontier, &opts.bench_out) {
             Ok(measured) => {
                 let records = trend::records_from_bench(&opts.cfg, &measured, &ledger_rev(&opts));
                 append_ledger(&opts, &records);

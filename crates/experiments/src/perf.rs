@@ -50,6 +50,12 @@ pub struct PerfConfig {
     /// When `Some(seed)`, deterministically perturb one measured op count
     /// before comparison (the CI mutation gate).
     pub perturb: Option<u64>,
+    /// When `Some(bits)`, run the cell on a timing wheel with that slot
+    /// granularity instead of the default. A second mutation-gate axis:
+    /// pop order (and thus every simulation result) is granularity-
+    /// invariant, but the queue op-count mix is not, so a perturbed run
+    /// against a default-granularity baseline must exit exactly 1.
+    pub wheel_slot_bits: Option<u32>,
 }
 
 /// The measured side of one cell.
@@ -89,6 +95,7 @@ fn cell_config(cfg: &PerfConfig) -> ExperimentConfig {
         seed: cfg.seed,
         bgp: Default::default(),
         event_limit: None,
+        wheel_slot_bits: cfg.wheel_slot_bits,
     }
 }
 
@@ -313,6 +320,7 @@ mod tests {
             jobs: 2,
             baseline_dir: dir.to_path_buf(),
             perturb: None,
+            wheel_slot_bits: None,
         }
     }
 

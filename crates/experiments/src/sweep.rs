@@ -170,14 +170,26 @@ impl Sweeper {
 
     /// Turns on the wall-side sweep heartbeat: every [`Sweeper::sweep_mode`]
     /// call logs one `obs::log!` info line per completed uncached cell —
-    /// cells-done/total within the call, elapsed wall time, and a simple
-    /// ETA (`elapsed / done · remaining`). Pure stderr chatter for long
-    /// runs: the lines are emitted on the owning thread at fold time and
-    /// never enter any deterministic artifact.
+    /// cells-done/total within the call, the cell's simulator event count
+    /// and the call's running events/sec throughput, elapsed wall time,
+    /// and a simple ETA (`elapsed / done · remaining`). Pure stderr
+    /// chatter for long runs: the lines are emitted on the owning thread
+    /// at fold time and never enter any deterministic artifact.
     pub fn enable_heartbeat(&mut self) {
         self.heartbeat = true;
     }
 
+    /// Simulator events a computed cell processed (queue pops: one per
+    /// event), read from the cached cost model. Heartbeat bookkeeping
+    /// only.
+    fn cell_events(&self, scenario: GrowthScenario, n: usize, mode: MraiMode) -> u64 {
+        self.costs
+            .get(&CellKey { scenario, n, mode })
+            .map(|c| c.total().queue_pops)
+            .unwrap_or(0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn heartbeat_line(
         watch: &Option<Stopwatch>,
         scenario: GrowthScenario,
@@ -185,6 +197,8 @@ impl Sweeper {
         mode: MraiMode,
         done: usize,
         total: usize,
+        cell_events: u64,
+        total_events: u64,
     ) {
         let Some(watch) = watch else { return };
         let elapsed = watch.elapsed_secs_f64();
@@ -193,9 +207,14 @@ impl Sweeper {
         } else {
             0.0
         };
+        let rate = if elapsed > 0.0 {
+            total_events as f64 / elapsed
+        } else {
+            0.0
+        };
         log!(
             Info,
-            "sweep: {done}/{total} cells done ({scenario} n={n} {}) elapsed {elapsed:.1}s eta {eta:.1}s",
+            "sweep: {done}/{total} cells done ({scenario} n={n} {}) {cell_events} events {rate:.0} ev/s elapsed {elapsed:.1}s eta {eta:.1}s",
             mode.label()
         );
     }
@@ -342,6 +361,7 @@ impl Sweeper {
             seed: self.cfg.seed,
             bgp,
             event_limit: None,
+            wheel_slot_bits: None,
         }
     }
 
@@ -396,6 +416,7 @@ impl Sweeper {
         let hb_watch = self.heartbeat.then(Stopwatch::start);
         let hb_total = uncached.len();
         let mut hb_done = 0usize;
+        let mut hb_events = 0u64;
 
         // Split the budget: `inner` workers per cell (C-event fan-out),
         // and any leftover across cells.
@@ -421,7 +442,11 @@ impl Sweeper {
                     let report = self.fold_telemetry(cell_cfg, obs);
                     self.cache.insert(CellKey { scenario, n, mode }, report);
                     hb_done += 1;
-                    Self::heartbeat_line(&hb_watch, scenario, n, mode, hb_done, hb_total);
+                    let ev = self.cell_events(scenario, n, mode);
+                    hb_events += ev;
+                    Self::heartbeat_line(
+                        &hb_watch, scenario, n, mode, hb_done, hb_total, ev, hb_events,
+                    );
                 }
             } else {
                 let results = run_indexed(outer, configs.len(), |i| {
@@ -435,7 +460,11 @@ impl Sweeper {
                     self.cache.insert(CellKey { scenario, n, mode }, report);
                     self.costs.insert(CellKey { scenario, n, mode }, cost);
                     hb_done += 1;
-                    Self::heartbeat_line(&hb_watch, scenario, n, mode, hb_done, hb_total);
+                    let ev = self.cell_events(scenario, n, mode);
+                    hb_events += ev;
+                    Self::heartbeat_line(
+                        &hb_watch, scenario, n, mode, hb_done, hb_total, ev, hb_events,
+                    );
                 }
             }
         }
@@ -449,7 +478,11 @@ impl Sweeper {
                 let report = self.report(scenario, n, mode);
                 if fresh {
                     hb_done += 1;
-                    Self::heartbeat_line(&hb_watch, scenario, n, mode, hb_done, hb_total);
+                    let ev = self.cell_events(scenario, n, mode);
+                    hb_events += ev;
+                    Self::heartbeat_line(
+                        &hb_watch, scenario, n, mode, hb_done, hb_total, ev, hb_events,
+                    );
                 }
                 report
             })

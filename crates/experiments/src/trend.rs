@@ -30,6 +30,7 @@ use std::sync::Arc;
 use bgpscale_obs::costmodel::OpCounts;
 use bgpscale_obs::ledger::{ArtifactHashes, LedgerRecord, RunKind, WallSide};
 use bgpscale_obs::render::{self, LineSeries};
+use bgpscale_obs::SCHEMA_VERSION;
 use bgpscale_obs::{log, CostModel};
 use bgpscale_simkernel::rng::{hash64_bytes, hash64_pair};
 use bgpscale_stats::descriptive::median_u64;
@@ -127,6 +128,7 @@ pub fn records_from_bench(cfg: &RunConfig, out: &BenchOutput, git_rev: &str) -> 
             .find(|(n, _)| *n == cell.n)
             .map(|(_, c)| c);
         records.push(LedgerRecord {
+            schema: SCHEMA_VERSION,
             kind: RunKind::Bench,
             git_rev: git_rev.to_string(),
             scenario: "BASELINE".to_string(),
@@ -159,6 +161,7 @@ pub fn records_from_bench(cfg: &RunConfig, out: &BenchOutput, git_rev: &str) -> 
 /// enter history.
 pub fn record_from_perf(cfg: &PerfConfig, m: &PerfMeasurement, git_rev: &str) -> LedgerRecord {
     LedgerRecord {
+        schema: SCHEMA_VERSION,
         kind: RunKind::Perf,
         git_rev: git_rev.to_string(),
         scenario: cfg.scenario.to_string(),
@@ -186,6 +189,7 @@ pub fn record_from_perf(cfg: &PerfConfig, m: &PerfMeasurement, git_rev: &str) ->
 /// every deterministic artifact the run produced.
 pub fn record_from_profile(cfg: &ProfileConfig, out: &ProfileOutput, git_rev: &str) -> LedgerRecord {
     LedgerRecord {
+        schema: SCHEMA_VERSION,
         kind: RunKind::Profile,
         git_rev: git_rev.to_string(),
         scenario: cfg.scenario.to_string(),
@@ -329,7 +333,18 @@ pub fn analyze(records: &[LedgerRecord], opts: &TrendOptions) -> TrendReport {
             continue;
         }
         let latest = entries[entries.len() - 1];
-        let history = &entries[..entries.len() - 1];
+        // Schema-aware: op classes are append-only, so records written
+        // under an older schema carry zero-filled padding for the newer
+        // classes — comparing against them manufactures regressions out
+        // of thin air. Only same-schema history is comparable.
+        let history: Vec<&LedgerRecord> = entries[..entries.len() - 1]
+            .iter()
+            .filter(|r| r.schema == latest.schema)
+            .copied()
+            .collect();
+        if history.is_empty() {
+            continue;
+        }
         let window = &history[history.len().saturating_sub(opts.window)..];
         for (idx, name) in OpCounts::field_names().iter().enumerate() {
             let values: Vec<u64> = window.iter().map(|r| r.ops.fields()[idx].1).collect();
@@ -403,10 +418,13 @@ pub fn analyze(records: &[LedgerRecord], opts: &TrendOptions) -> TrendReport {
                     continue;
                 };
                 let drift = f.exponent - p.exponent;
-                if drift.abs() > opts.exp_band {
+                // One-sided: only a *rising* exponent (worse asymptotic
+                // scaling) gates. A drop is an improvement — flagging it
+                // would force a ledger rewrite after every optimization.
+                if drift > opts.exp_band {
                     report.regressions.push(format!(
                         "exponent regression: {} {}: n-exponent {:.3} at rev {} vs {:.3} at \
-                         rev {} ({:+.3} outside ±{} band)",
+                         rev {} ({:+.3} above the +{} band)",
                         label, f.class, f.exponent, next_rev, p.exponent, prev_rev, drift,
                         opts.exp_band
                     ));
@@ -668,6 +686,7 @@ mod tests {
     fn rec(n: u64, rev: &str, per_class: u64) -> LedgerRecord {
         let fields = OpCounts::default().fields().map(|(name, _)| (name, per_class));
         LedgerRecord {
+            schema: SCHEMA_VERSION,
             kind: RunKind::Bench,
             git_rev: rev.to_string(),
             scenario: "BASELINE".to_string(),
@@ -770,6 +789,42 @@ mod tests {
     }
 
     #[test]
+    fn exponent_improvement_does_not_gate() {
+        // r1 scales quadratically, r2 linearly: exponent 2 → 1 is an
+        // improvement and must pass the one-sided drift gate.
+        let records = vec![
+            rec(100, "r1", 100 * 100),
+            rec(400, "r1", 400 * 400),
+            rec(100, "r2", 10 * 100),
+            rec(400, "r2", 10 * 400),
+        ];
+        let report = analyze(&records, &TrendOptions::default());
+        assert!(
+            report.regressions.iter().all(|r| !r.contains("exponent regression")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn older_schema_history_is_not_comparable() {
+        // A v1 record's trailing op classes are zero-filled padding, not
+        // measured zeros: a v2 record with real counts there must not be
+        // flagged against it (the zero-median rule would otherwise fire
+        // for every appended class on the first post-migration run).
+        let mut old = rec(100, "r1", 1000);
+        old.schema = 1;
+        let mut fields = old.ops.fields();
+        for f in fields.iter_mut().skip(OpCounts::FIELD_COUNT_V1) {
+            f.1 = 0;
+        }
+        old.ops = OpCounts::from_fields(&fields);
+        let new = rec(100, "r2", 1000);
+        let report = analyze(&[old, new], &TrendOptions::default());
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
     fn window_limits_the_median_history() {
         // Old history at 2000, recent 4 entries at 1000, newest at 1000:
         // with window=4 the median is 1000 → pass; window=20 would pull
@@ -868,6 +923,7 @@ mod tests {
             jobs: 1,
             baseline_dir: std::path::PathBuf::from("/nonexistent"),
             perturb: None,
+            wheel_slot_bits: None,
         };
         let m = crate::perf::measure(&perf_cfg);
         let pr = record_from_perf(&perf_cfg, &m, "r1");
@@ -879,6 +935,7 @@ mod tests {
             jobs: 1,
             trace_sample: None,
             event_limit: None,
+            wheel_slot_bits: None,
         };
         let out = crate::profile::run_profile(&prof_cfg).unwrap();
         let fr = record_from_profile(&prof_cfg, &out, "r1");

@@ -11,8 +11,8 @@
 //!
 //! Three layers feed the model:
 //!
-//! * `simkernel::queue` counts event-queue pushes, pops, sift moves and
-//!   `(time, seq)` comparisons;
+//! * `simkernel::queue` counts event-queue pushes, pops, sift moves,
+//!   `(time, seq)` comparisons and timing-wheel cascades;
 //! * `bgpscale-bgp` counts decision-process runs, route comparisons,
 //!   Adj-RIB-out writes and AS-path intern hits vs misses;
 //! * `bgpscale-core` counts message deliveries and MRAI arm/fire/coalesce
@@ -22,7 +22,9 @@
 //! C-event (after warm-up, after the DOWN phase, after the UP phase) and
 //! stores the per-phase *differences* in event-index order. Wall-side
 //! quantities (allocation counts, peak RSS, timings) never enter this
-//! model — they live in `BENCH_harness.json` only.
+//! model — they live in `BENCH_harness.json` only. Arena footprint *is*
+//! in the model, but as `arena_bytes_reserved`: a deterministic byte
+//! count from the fixed arena byte model, not an allocator measurement.
 
 use std::fmt::Write as _;
 
@@ -65,11 +67,26 @@ pub struct OpCounts {
     /// Pending updates displaced by a newer update for the same prefix
     /// while an MRAI timer was running (rate-limiting coalescing).
     pub mrai_coalesced: u64,
+    /// Timing-wheel cascade re-files (entries moved into finer wheel
+    /// levels during cursor jumps). Always zero on the heap backend.
+    pub queue_cascades: u64,
+    /// Bytes reserved by the node arenas (session slab + prefix-major
+    /// RIB columns + damping entries) at snapshot time, per the fixed
+    /// arena byte model. Monotone within a C-event — arenas only grow
+    /// until the inter-event `reset_routing` — so phase diffs attribute
+    /// arena growth like any other counter class.
+    pub arena_bytes_reserved: u64,
 }
 
 impl OpCounts {
-    /// Number of counter classes.
-    pub const FIELD_COUNT: usize = 13;
+    /// Number of counter classes (schema v2).
+    pub const FIELD_COUNT: usize = 15;
+
+    /// Number of counter classes in schema v1 ledger lines and baselines
+    /// (everything before `queue_cascades`). New classes are only ever
+    /// appended, so a v1 prefix of [`OpCounts::fields`] is exactly the v1
+    /// field set.
+    pub const FIELD_COUNT_V1: usize = 13;
 
     /// Field names and values in canonical serialization order.
     pub fn fields(&self) -> [(&'static str, u64); Self::FIELD_COUNT] {
@@ -87,6 +104,8 @@ impl OpCounts {
             ("mrai_armed", self.mrai_armed),
             ("mrai_fired", self.mrai_fired),
             ("mrai_coalesced", self.mrai_coalesced),
+            ("queue_cascades", self.queue_cascades),
+            ("arena_bytes_reserved", self.arena_bytes_reserved),
         ]
     }
 
@@ -112,6 +131,8 @@ impl OpCounts {
             mrai_armed: fields[10].1,
             mrai_fired: fields[11].1,
             mrai_coalesced: fields[12].1,
+            queue_cascades: fields[13].1,
+            arena_bytes_reserved: fields[14].1,
         }
     }
 
@@ -130,6 +151,8 @@ impl OpCounts {
         self.mrai_armed += other.mrai_armed;
         self.mrai_fired += other.mrai_fired;
         self.mrai_coalesced += other.mrai_coalesced;
+        self.queue_cascades += other.queue_cascades;
+        self.arena_bytes_reserved += other.arena_bytes_reserved;
     }
 
     /// `self - earlier`, field-wise. Counters are monotone within a run,
@@ -158,6 +181,10 @@ impl OpCounts {
             mrai_armed: self.mrai_armed.saturating_sub(earlier.mrai_armed),
             mrai_fired: self.mrai_fired.saturating_sub(earlier.mrai_fired),
             mrai_coalesced: self.mrai_coalesced.saturating_sub(earlier.mrai_coalesced),
+            queue_cascades: self.queue_cascades.saturating_sub(earlier.queue_cascades),
+            arena_bytes_reserved: self
+                .arena_bytes_reserved
+                .saturating_sub(earlier.arena_bytes_reserved),
         }
     }
 
@@ -298,6 +325,8 @@ mod tests {
             mrai_armed: seed + 10,
             mrai_fired: seed + 11,
             mrai_coalesced: seed + 12,
+            queue_cascades: seed + 13,
+            arena_bytes_reserved: seed + 14,
         }
     }
 
@@ -328,7 +357,9 @@ mod tests {
             + c.deliveries
             + c.mrai_armed
             + c.mrai_fired
-            + c.mrai_coalesced;
+            + c.mrai_coalesced
+            + c.queue_cascades
+            + c.arena_bytes_reserved;
         assert_eq!(c.grand_total(), explicit);
         assert_eq!(OpCounts::field_names().len(), OpCounts::FIELD_COUNT);
         assert_eq!(OpCounts::from_fields(&c.fields()), c, "fields roundtrip");

@@ -39,10 +39,15 @@
 //! ledger is a re-run of identical work and is deduplicated (skipped)
 //! instead of double-appended; a record differing in *any* deterministic
 //! byte gets a fresh line. Readers ([`read_ledger`]) verify every line by
-//! canonical round-trip: parse, re-serialize, compare bytes — a corrupt
-//! or truncated trailing line is a hard [`LedgerError::Corrupt`], never
-//! silently skipped (surfaced as exit 2 by `repro trend`, the shared
-//! usage/config-error code).
+//! canonical round-trip: parse, re-serialize *in the line's own schema
+//! layout*, compare bytes — a corrupt or truncated trailing line is a
+//! hard [`LedgerError::Corrupt`], never silently skipped (surfaced as
+//! exit 2 by `repro trend`, the shared usage/config-error code).
+//!
+//! Because history is append-only, a schema bump never orphans old
+//! lines: op-count classes are only ever appended to [`OpCounts`], so a
+//! v1 `ops` block is a prefix of today's and parses with the new classes
+//! at zero. New lines are always written in the current schema.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -129,6 +134,13 @@ pub struct WallSide {
 /// plus its wall-side context. See the module docs for the tier split.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LedgerRecord {
+    /// The ledger schema version the record was written under — the
+    /// current [`SCHEMA_VERSION`] for fresh records, the wire version for
+    /// parsed ones. Op classes are append-only, so an older record's
+    /// trailing op fields are zero-filled; consumers comparing op counts
+    /// across records (the trend gates) must not treat that padding as
+    /// measured data.
+    pub schema: u32,
     /// Which subcommand produced this record.
     pub kind: RunKind,
     /// Git revision of the producing tree (`"unknown"` outside a repo).
@@ -162,6 +174,14 @@ impl LedgerRecord {
     /// The canonical deterministic block. Everything here is a pure
     /// function of `(config, seed, code)`; byte-identical across `--jobs`.
     pub fn det_json(&self) -> String {
+        self.det_json_with(OpCounts::FIELD_COUNT)
+    }
+
+    /// [`LedgerRecord::det_json`] truncated to the first `field_count` op
+    /// classes — the serialization an older schema wrote. Op classes are
+    /// only ever appended, so every historical `ops` block is a prefix of
+    /// the current one.
+    fn det_json_with(&self, field_count: usize) -> String {
         let mut s = String::new();
         let _ = write!(
             s,
@@ -177,7 +197,7 @@ impl LedgerRecord {
             self.events
         );
         s.push_str("\"ops\":{");
-        for (i, (name, value)) in self.ops.fields().iter().enumerate() {
+        for (i, (name, value)) in self.ops.fields().iter().take(field_count).enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(s, "{sep}\"{name}\":{value}");
         }
@@ -203,13 +223,22 @@ impl LedgerRecord {
     /// newline). Parsing and re-serializing a valid line reproduces it
     /// byte-for-byte; [`parse_line`] relies on that for integrity.
     pub fn to_line(&self) -> String {
+        self.to_line_with(SCHEMA_VERSION, OpCounts::FIELD_COUNT)
+    }
+
+    /// [`LedgerRecord::to_line`] in a historical schema's exact layout.
+    /// Used by [`parse_line`] to round-trip-verify old lines: the
+    /// `det_hash` on the wire covers the det block *as that schema wrote
+    /// it*, so the hash is recomputed over the truncated field set.
+    fn to_line_with(&self, schema: u32, field_count: usize) -> String {
+        let det = self.det_json_with(field_count);
         let mut s = String::new();
         let _ = write!(
             s,
             "{{\"schema_version\":{},\"det\":{},\"det_hash\":\"{:016x}\",\"wall\":{{",
-            SCHEMA_VERSION,
-            self.det_json(),
-            self.det_hash()
+            schema,
+            det,
+            hash64_bytes(det.as_bytes())
         );
         let _ = write!(
             s,
@@ -263,7 +292,8 @@ pub enum LedgerError {
     /// A line failed to parse or round-trip — corruption or truncation.
     /// `line` is 1-based.
     Corrupt { line: usize, reason: String },
-    /// A line carries a schema version this reader does not understand.
+    /// A line carries a schema version this reader does not understand
+    /// (newer than the code, or never shipped).
     Schema { line: usize, found: u64 },
 }
 
@@ -276,7 +306,7 @@ impl fmt::Display for LedgerError {
             }
             LedgerError::Schema { line, found } => write!(
                 f,
-                "ledger line {line} has schema_version {found}, this reader expects {SCHEMA_VERSION}"
+                "ledger line {line} has schema_version {found}, this reader understands 1..={SCHEMA_VERSION}"
             ),
         }
     }
@@ -347,12 +377,19 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<LedgerRecord, LedgerErro
         reason: reason.to_string(),
     };
     let schema = json_u64(line, "schema_version").ok_or_else(|| corrupt("missing schema_version"))?;
-    if schema != u64::from(SCHEMA_VERSION) {
-        return Err(LedgerError::Schema {
-            line: line_no,
-            found: schema,
-        });
-    }
+    // The ledger is append-only history: every schema this file was ever
+    // written in stays readable. Op classes are append-only, so an older
+    // line simply populates a prefix of today's OpCounts (the rest is 0).
+    let field_count = match schema {
+        1 => OpCounts::FIELD_COUNT_V1,
+        v if v == u64::from(SCHEMA_VERSION) => OpCounts::FIELD_COUNT,
+        _ => {
+            return Err(LedgerError::Schema {
+                line: line_no,
+                found: schema,
+            })
+        }
+    };
     let kind = json_str(line, "kind")
         .and_then(RunKind::from_name)
         .ok_or_else(|| corrupt("missing or unknown kind"))?;
@@ -369,7 +406,7 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<LedgerRecord, LedgerErro
     let seed = json_u64(line, "seed").ok_or_else(|| corrupt("missing seed"))?;
     let events = json_u64(line, "events").ok_or_else(|| corrupt("missing events"))?;
     let mut fields = OpCounts::default().fields();
-    for (name, value) in fields.iter_mut() {
+    for (name, value) in fields.iter_mut().take(field_count) {
         *value = json_u64(line, name).ok_or_else(|| corrupt(&format!("missing op class {name}")))?;
     }
     let ops = OpCounts::from_fields(&fields);
@@ -390,6 +427,7 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<LedgerRecord, LedgerErro
             .ok_or_else(|| corrupt("bad trace_overhead_cpct"))?,
     };
     let record = LedgerRecord {
+        schema: schema as u32,
         kind,
         git_rev,
         scenario,
@@ -402,9 +440,10 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<LedgerRecord, LedgerErro
         wall,
     };
     // Canonical round-trip: a healthy line re-serializes byte-for-byte
-    // (this also re-derives and thereby verifies det_hash and the
-    // fingerprint). Anything else is corruption or truncation.
-    if record.to_line() != line {
+    // *in its own schema's layout* (this also re-derives and thereby
+    // verifies det_hash and the fingerprint). Anything else is
+    // corruption or truncation.
+    if record.to_line_with(schema as u32, field_count) != line {
         return Err(corrupt(
             "record does not round-trip canonically (truncated or edited line)",
         ));
@@ -519,6 +558,7 @@ mod tests {
             ..OpCounts::default()
         };
         LedgerRecord {
+            schema: SCHEMA_VERSION,
             kind: RunKind::Bench,
             git_rev: rev.to_string(),
             scenario: "BASELINE".to_string(),
@@ -684,6 +724,38 @@ mod tests {
             Err(LedgerError::Schema { line: 3, found: 999 }) => {}
             other => panic!("foreign schema must be Schema, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v1_lines_stay_readable_and_round_trip_in_their_own_layout() {
+        // A v1 line carries only the first FIELD_COUNT_V1 op classes and a
+        // det_hash over that truncated block. It must still parse — the
+        // ledger is append-only history — with the appended v2 classes
+        // reading as zero.
+        let rec = sample(300, "r1");
+        let v1 = rec.to_line_with(1, OpCounts::FIELD_COUNT_V1);
+        assert!(v1.starts_with("{\"schema_version\":1,\"det\":{"));
+        assert!(!v1.contains("queue_cascades"), "v1 stops at mrai_coalesced");
+        assert!(!v1.contains("arena_bytes_reserved"));
+        let parsed = parse_line(&v1, 1).unwrap();
+        assert_eq!(parsed.ops.queue_cascades, 0);
+        assert_eq!(parsed.ops.arena_bytes_reserved, 0);
+        assert_eq!(parsed.schema, 1, "parsed records remember their wire schema");
+        assert_eq!(
+            parsed,
+            LedgerRecord { schema: 1, ..rec },
+            "sample sets no v2-only class"
+        );
+        // Mixed-schema ledgers read end to end, in order.
+        let v2 = sample(600, "r2").to_line();
+        let all = parse_ledger(&format!("{v1}\n{v2}\n")).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].n, 300);
+        assert_eq!(all[1].n, 600);
+        // An edited v1 line still fails its canonical round-trip.
+        let edited = v1.replacen("\"queue_pushes\":30000", "\"queue_pushes\":30001", 1);
+        assert_ne!(edited, v1);
+        assert!(matches!(parse_line(&edited, 1), Err(LedgerError::Corrupt { .. })));
     }
 
     #[test]

@@ -52,8 +52,13 @@ pub mod trace;
 /// Schema version stamped into every JSON artifact the workspace writes
 /// (`metrics.json`, `timeseries.json`, `costmodel.json`,
 /// `BENCH_harness.json`, perf baselines). Bump when a writer changes its
-/// key layout incompatibly; readers reject mismatches.
-pub const SCHEMA_VERSION: u32 = 1;
+/// key layout incompatibly; readers reject mismatches — except the run
+/// ledger, which is append-only history and keeps a read path for every
+/// schema it ever wrote (see [`ledger::parse_line`]).
+///
+/// v1 → v2: [`OpCounts`] grew `queue_cascades` and `arena_bytes_reserved`
+/// (appended classes; the v1 field set is an exact prefix).
+pub const SCHEMA_VERSION: u32 = 2;
 
 pub use costmodel::{CostModel, OpCounts, PhaseCosts, PHASES, PHASE_NAMES};
 pub use ledger::{

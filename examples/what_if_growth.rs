@@ -37,6 +37,7 @@ fn main() {
                 seed,
                 bgp: BgpConfig::default(),
                 event_limit: None,
+                wheel_slot_bits: None,
             });
             print!("  {:>14.2}", report.by_type(NodeType::T).u_total);
         }

@@ -44,6 +44,7 @@
 //!     seed: 42,
 //!     bgp: BgpConfig::default(),
 //!     event_limit: None,
+//!     wheel_slot_bits: None,
 //! });
 //!
 //! // 3. Tier-1 networks hear more churn than customer stubs.

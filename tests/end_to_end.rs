@@ -14,6 +14,7 @@ fn full_pipeline_baseline() {
         seed: 1,
         bgp: BgpConfig::default(),
         event_limit: None,
+        wheel_slot_bits: None,
     };
     let report = run_experiment(&cfg);
     assert_eq!(report.n, 400);
@@ -38,6 +39,7 @@ fn experiment_is_reproducible_end_to_end() {
         seed: 99,
         bgp: BgpConfig::default(),
         event_limit: None,
+        wheel_slot_bits: None,
     };
     let a = run_experiment(&cfg);
     let b = run_experiment(&cfg);
@@ -59,6 +61,7 @@ fn every_scenario_runs_end_to_end() {
             seed: 5,
             bgp: BgpConfig::default(),
             event_limit: None,
+            wheel_slot_bits: None,
         });
         assert!(
             report.mean_total_updates > 0.0,
@@ -113,6 +116,7 @@ fn wrate_increases_churn_at_moderate_scale() {
             seed: 3,
             bgp,
             event_limit: None,
+            wheel_slot_bits: None,
         });
         totals.push(report.mean_total_updates);
     }
@@ -133,6 +137,7 @@ fn tree_invariant_holds_through_the_facade() {
         seed: 8,
         bgp: BgpConfig::default(),
         event_limit: None,
+        wheel_slot_bits: None,
     });
     assert!(
         (report.by_type(NodeType::T).u_total - 2.0).abs() < 1e-9,
@@ -150,6 +155,7 @@ fn convergence_time_reported_in_seconds() {
         seed: 21,
         bgp: BgpConfig::default(),
         event_limit: None,
+        wheel_slot_bits: None,
     });
     // NO-WRATE DOWN convergence: sub-minute; UP can take a few MRAI
     // rounds.

@@ -17,6 +17,7 @@ fn cell_cfg(jobs: usize) -> PerfConfig {
         jobs,
         baseline_dir: std::path::PathBuf::from("/nonexistent"),
         perturb: None,
+        wheel_slot_bits: None,
     }
 }
 

@@ -82,6 +82,7 @@ fn ledger_line_is_stamped() {
         jobs: 2,
         baseline_dir: std::env::temp_dir(),
         perturb: None,
+        wheel_slot_bits: None,
     };
     let m = measure(&cfg);
     let record = bgpscale_experiments::trend::record_from_perf(&cfg, &m, "testrev");
@@ -98,6 +99,7 @@ fn perf_baseline_is_stamped() {
         jobs: 2,
         baseline_dir: std::env::temp_dir(),
         perturb: None,
+        wheel_slot_bits: None,
     };
     let m = measure(&cfg);
     assert_stamped(&baseline_json(&cfg, &m), "perf baseline");
